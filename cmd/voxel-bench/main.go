@@ -1,0 +1,88 @@
+// Command voxel-bench regenerates every table and figure of the paper's
+// evaluation and prints them (optionally writing a Markdown results file
+// consumed by EXPERIMENTS.md). Scale with -trials and -segments; the paper
+// used 30 trials over 75-segment clips.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"voxel/internal/figures"
+)
+
+func main() {
+	trials := flag.Int("trials", 5, "trials per experiment cell (paper: 30)")
+	segments := flag.Int("segments", 25, "segments per clip (paper: 75)")
+	quick := flag.Bool("quick", false, "reduced sweeps (fewer videos/buffers)")
+	only := flag.String("only", "", "comma-separated exhibit IDs (e.g. Fig6,Fig10)")
+	list := flag.Bool("list", false, "list exhibit IDs and exit")
+	out := flag.String("out", "", "also write the tables to this Markdown file")
+	flag.Parse()
+
+	if *list {
+		for _, g := range figures.All() {
+			fmt.Printf("%-14s %s\n", g.ID, g.Name)
+		}
+		return
+	}
+
+	params := figures.Params{
+		Trials:   *trials,
+		Segments: *segments,
+		Quick:    *quick,
+		Seed:     1,
+	}.Defaults()
+
+	var selected []figures.Generator
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			g, ok := figures.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "voxel-bench: unknown exhibit %q\n", id)
+				os.Exit(1)
+			}
+			selected = append(selected, g)
+		}
+	} else {
+		selected = figures.All()
+	}
+
+	var md strings.Builder
+	fmt.Fprintf(&md, "# voxel-bench results\n\ntrials=%d segments=%d quick=%v generated=%s\n\n",
+		params.Trials, params.Segments, params.Quick, time.Now().UTC().Format(time.RFC3339))
+
+	start := time.Now()
+	for _, g := range selected {
+		t0 := time.Now()
+		tab := g.Run(params)
+		fmt.Print(tab.String())
+		fmt.Printf("   [%s in %v]\n\n", g.ID, time.Since(t0).Round(time.Millisecond))
+		writeMarkdown(&md, tab)
+	}
+	fmt.Printf("total: %v\n", time.Since(start).Round(time.Second))
+
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(md.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "voxel-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func writeMarkdown(b *strings.Builder, t *figures.Table) {
+	fmt.Fprintf(b, "## %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(b, "| %s |\n", strings.Join(t.Header, " | "))
+	fmt.Fprintf(b, "|%s|\n", strings.Repeat("---|", len(t.Header)))
+	for _, r := range t.Rows {
+		fmt.Fprintf(b, "| %s |\n", strings.Join(r, " | "))
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(b, "\n*%s*\n", t.Notes)
+	}
+	fmt.Fprintln(b)
+}

@@ -1,0 +1,91 @@
+// Command voxel-sim runs one streaming experiment configuration — title,
+// system (ABR + transport), trace, buffer size — for N trials and prints
+// the paper's metrics: p90 and mean bufRatio, average bitrate, score
+// distribution, skipped data, and residual loss.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"voxel/internal/exp"
+	"voxel/internal/qoe"
+	"voxel/internal/stats"
+	"voxel/internal/trace"
+)
+
+func main() {
+	title := flag.String("title", "BBB", "video title")
+	system := flag.String("system", "VOXEL", "system: BOLA/Q, BOLA/Q*, MPC/Q, MPC/Q*, Tput/Q, Tput/Q*, BETA, BOLA-SSIM, VOXEL, VOXEL-rel, VOXEL-untuned")
+	traceName := flag.String("trace", "verizon", "trace: tmobile, verizon, att, 3g, fcc, wild")
+	buffer := flag.Int("buffer", 3, "playback buffer in segments")
+	trials := flag.Int("trials", 10, "trials (paper: 30)")
+	segments := flag.Int("segments", 0, "limit segment count (0 = full 75)")
+	metricName := flag.String("metric", "ssim", "QoE metric: ssim, vmaf, psnr")
+	queue := flag.Int("queue", 32, "router queue in packets (750 = long-queue appendix)")
+	cross := flag.Float64("cross", 0, "cross-traffic load in Mbps over a 20 Mbps link (replaces the trace)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var metric qoe.Metric
+	switch *metricName {
+	case "ssim":
+		metric = qoe.SSIM
+	case "vmaf":
+		metric = qoe.VMAF
+	case "psnr":
+		metric = qoe.PSNR
+	default:
+		fatal(fmt.Errorf("unknown metric %q", *metricName))
+	}
+
+	cfg := exp.Config{
+		Title:          *title,
+		System:         exp.System(*system),
+		BufferSegments: *buffer,
+		Trials:         *trials,
+		Segments:       *segments,
+		Metric:         metric,
+		QueuePackets:   *queue,
+		Seed:           *seed,
+	}
+	if *cross > 0 {
+		cfg.CrossTraffic = *cross * 1e6
+		cfg.LinkCapacity = 20e6
+		fmt.Printf("%s streaming %s against %.0f Mbps cross traffic (20 Mbps link), %d-segment buffer\n",
+			*system, *title, *cross, *buffer)
+	} else {
+		tr, err := trace.ByName(*traceName)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Trace = tr
+		fmt.Printf("%s streaming %s over %s (mean %.1f Mbps, stddev %.1f Mbps), %d-segment buffer\n",
+			*system, *title, tr.Name(), tr.Mean()/1e6, tr.StdDev()/1e6, *buffer)
+	}
+
+	agg := exp.Run(cfg)
+
+	fmt.Printf("\n%-26s %v\n", "trials:", len(agg.Trials))
+	fmt.Printf("%-26s %.2f%%\n", "bufRatio (p90):", 100*agg.BufRatioP90())
+	fmt.Printf("%-26s %.2f%%\n", "bufRatio (mean):", 100*agg.BufRatioMean())
+	fmt.Printf("%-26s %.2f Mbps\n", "avg bitrate:", agg.BitrateMean()/1e6)
+	cdf := agg.ScoreCDF()
+	fmt.Printf("%-26s p10=%.4f median=%.4f p90=%.4f\n", metric.String()+" scores:",
+		cdf.Quantile(0.1), cdf.Quantile(0.5), cdf.Quantile(0.9))
+	var skipped, residual, startup []float64
+	for _, t := range agg.Trials {
+		skipped = append(skipped, t.Skipped)
+		residual = append(residual, t.Residual)
+		startup = append(startup, t.StartupDelay.Seconds())
+	}
+	fmt.Printf("%-26s %.2f%%\n", "data skipped (mean):", 100*stats.Mean(skipped))
+	fmt.Printf("%-26s %.2f%%\n", "residual loss (mean):", 100*stats.Mean(residual))
+	fmt.Printf("%-26s %.2f s\n", "startup delay (mean):", stats.Mean(startup))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "voxel-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Command voxel-traces inspects the synthetic bandwidth traces: summary
+// statistics, an ASCII preview, and CSV export of per-second samples.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"voxel/internal/stats"
+	"voxel/internal/trace"
+)
+
+func main() {
+	name := flag.String("name", "", "dump one trace (tmobile, verizon, att, 3g, fcc, wild)")
+	csv := flag.Bool("csv", false, "emit per-second samples as CSV (with -name)")
+	riiser := flag.Int("riiser", 0, "also summarize N Riiser 3G commute traces")
+	flag.Parse()
+
+	if *name != "" {
+		tr, err := trace.ByName(*name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "voxel-traces:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Println("second,mbps")
+			for i, v := range tr.Samples() {
+				fmt.Printf("%d,%.3f\n", i, v/1e6)
+			}
+			return
+		}
+		describe(tr)
+		return
+	}
+
+	fmt.Printf("%-18s %10s %10s %8s\n", "trace", "mean", "stddev", "length")
+	for _, n := range trace.Names() {
+		tr, _ := trace.ByName(n)
+		fmt.Printf("%-18s %7.2f Mb %7.2f Mb %7.0fs\n",
+			tr.Name(), tr.Mean()/1e6, tr.StdDev()/1e6, tr.Duration().Seconds())
+	}
+	if *riiser > 0 {
+		var means []float64
+		for _, tr := range trace.Riiser3GSet(*riiser) {
+			means = append(means, tr.Mean()/1e6)
+		}
+		s := stats.Summarize(means)
+		fmt.Printf("\nriiser-3g set (%d traces): mean of means %.2f Mbps, range %.2f–%.2f Mbps\n",
+			*riiser, s.Mean, s.Min, s.Max)
+	}
+}
+
+func describe(tr *trace.Trace) {
+	fmt.Printf("%s: mean %.2f Mbps, stddev %.2f Mbps, %d samples\n",
+		tr.Name(), tr.Mean()/1e6, tr.StdDev()/1e6, len(tr.Samples()))
+	// ASCII preview: 60 columns, normalized to the max rate.
+	samples := tr.Samples()
+	maxV := stats.Max(samples)
+	if maxV <= 0 {
+		return
+	}
+	const width, height = 72, 10
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for x := 0; x < width; x++ {
+		idx := x * (len(samples) - 1) / (width - 1)
+		h := int(samples[idx] / maxV * float64(height-1))
+		for y := 0; y <= h; y++ {
+			grid[height-1-y][x] = '#'
+		}
+	}
+	fmt.Printf("%.1f Mbps\n", maxV/1e6)
+	for _, row := range grid {
+		fmt.Println(string(row))
+	}
+	fmt.Printf("0%s%.0fs\n", strings.Repeat(" ", width-6), tr.Duration().Seconds())
+}

@@ -1,0 +1,26 @@
+// Package voxel is a from-scratch Go reproduction of "VOXEL: Cross-layer
+// Optimization for Video Streaming with Imperfect Transmission" (Palmer et
+// al., CoNEXT 2021).
+//
+// VOXEL combines three cooperating pieces:
+//
+//   - an offline content-preparation step that rank-orders the frames of
+//     every DASH segment by their QoE importance and enriches the manifest
+//     with bytes→QoE mappings and reliable/unreliable byte ranges (§4.1);
+//   - QUIC*, a partially reliable QUIC variant offering unreliable streams
+//     under the connection's CUBIC congestion and flow control, with
+//     precise loss reporting to the application (§4.2);
+//   - ABR*, a BOLA-derived adaptation algorithm that optimizes a QoE
+//     utility, chooses among virtual quality levels (partial segments) and
+//     abandons downloads by keeping the partial segment (§4.3).
+//
+// Everything runs on a deterministic discrete-event simulator, from the
+// packet-level transport up to the player, so the paper's evaluation
+// (Figs. 1–19) regenerates reproducibly on a laptop. See DESIGN.md for the
+// system inventory and the substitutions made for the paper's physical
+// testbed, and EXPERIMENTS.md for paper-vs-measured results.
+//
+// The top-level package is a thin facade over the internal packages; start
+// with Stream for an end-to-end run or PrepareManifest for the offline
+// analysis. The runnable examples under examples/ exercise the same API.
+package voxel

@@ -1,0 +1,63 @@
+// ABR shootout: every system in the paper's evaluation — the naive
+// throughput picker, BOLA and MPC over QUIC and QUIC*, BETA, the BOLA-SSIM
+// intermediate, and VOXEL — on the same challenging T-Mobile trace.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"voxel"
+)
+
+func main() {
+	tr, err := voxel.LoadTrace("tmobile")
+	if err != nil {
+		log.Fatal(err)
+	}
+	systems := []voxel.System{
+		voxel.Tput,
+		voxel.BOLA,
+		voxel.BOLAQuicStar,
+		voxel.MPC,
+		voxel.MPCQuicStar,
+		voxel.BETA,
+		voxel.BOLASSIM,
+		voxel.VOXEL,
+	}
+
+	fmt.Println("All systems streaming ToS over T-Mobile LTE (3-segment buffer, 5 trials).")
+	fmt.Printf("\n%-12s %14s %14s %13s %12s\n",
+		"system", "p90 bufRatio", "mean bitrate", "median SSIM", "mean SSIM")
+
+	type row struct {
+		sys voxel.System
+		agg *voxel.Aggregate
+	}
+	var rows []row
+	for _, sys := range systems {
+		agg, err := voxel.Stream(voxel.Config{
+			Title:          "ToS",
+			System:         sys,
+			Trace:          tr,
+			BufferSegments: 3,
+			Trials:         5,
+			Segments:       25,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{sys, agg})
+		fmt.Printf("%-12s %13.2f%% %11.2f Mb %13.4f %12.4f\n",
+			sys, 100*agg.BufRatioP90(), agg.BitrateMean()/1e6,
+			agg.ScoreCDF().Quantile(0.5), agg.MeanScore())
+	}
+
+	best := rows[0]
+	for _, r := range rows[1:] {
+		if r.agg.BufRatioP90() < best.agg.BufRatioP90() {
+			best = r
+		}
+	}
+	fmt.Printf("\nLowest p90 rebuffering: %s.\n", best.sys)
+}

@@ -1,0 +1,45 @@
+// Livestream: the paper's motivating low-latency scenario — a 1-segment
+// playback buffer (plus one in flight) across every cellular trace. Small
+// buffers leave no slack for bitrate mistakes, which is where VOXEL's
+// virtual quality levels and smart abandonment matter most (§5.2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"voxel"
+)
+
+func main() {
+	fmt.Println("Live-streaming-like setup: 1-segment buffer, Sintel, 5 trials per trace.")
+	fmt.Printf("\n%-10s %16s %16s %14s\n", "trace", "BOLA p90 stall", "VOXEL p90 stall", "VOXEL bitrate")
+
+	for _, name := range []string{"tmobile", "verizon", "att", "3g", "fcc"} {
+		tr, err := voxel.LoadTrace(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cell := func(sys voxel.System) *voxel.Aggregate {
+			agg, err := voxel.Stream(voxel.Config{
+				Title:          "Sintel",
+				System:         sys,
+				Trace:          tr,
+				BufferSegments: 1,
+				Trials:         5,
+				Segments:       20,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			return agg
+		}
+		bola := cell(voxel.BOLA)
+		vox := cell(voxel.VOXEL)
+		fmt.Printf("%-10s %15.2f%% %15.2f%% %11.2f Mb\n",
+			name, 100*bola.BufRatioP90(), 100*vox.BufRatioP90(), vox.BitrateMean()/1e6)
+	}
+
+	fmt.Println("\nEven at a single segment of buffer, VOXEL keeps playback fluid by")
+	fmt.Println("finishing partial segments instead of re-downloading them.")
+}

@@ -1,0 +1,52 @@
+// Prepinspect: walk through VOXEL's offline content preparation (§4.1) for
+// one segment — the three candidate frame orderings, the bytes→SSIM curve,
+// and the virtual quality levels the ABR will later choose from.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"voxel"
+	"voxel/internal/prep"
+)
+
+func main() {
+	v, err := voxel.LoadVideo("BBB")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const segIdx = 10
+	s := v.Segment(segIdx, 12)
+
+	fmt.Printf("%s segment %d at Q12: %d frames, %.2f Mbps, complexity %.2f\n",
+		v.Title, segIdx, len(s.Frames), s.Bitrate()/1e6, s.Complexity)
+
+	i, p, b := s.ByteShares()
+	fmt.Printf("byte split: %.0f%% I / %.0f%% P / %.0f%% B (paper: ≈15/65/20)\n\n",
+		100*i, 100*p, 100*b)
+
+	a := prep.NewAnalyzer()
+	fmt.Println("Max droppable frames at SSIM ≥ 0.99, per ordering:")
+	for _, o := range prep.Orderings() {
+		frac := a.MaxDropFraction(s, o, 0.99)
+		drop := a.DropSet(s, o, 0.99)
+		fmt.Printf("  %-18s %5.1f%%  (referenced among dropped: %.0f%%)\n",
+			o, 100*frac, 100*prep.ReferencedShare(s, drop))
+	}
+
+	// The §4.1 selection: cheapest ordering that clears the Q11 bound.
+	lower := v.Segment(segIdx, 11)
+	bound := a.Model.Score(a.Metric, lower, make([]float64, len(lower.Frames)))
+	plan := a.Analyze(s, bound)
+	fmt.Printf("\nLower bound (pristine Q11 SSIM): %.4f\n", bound)
+	fmt.Printf("Chosen ordering: %v — reach the bound with %.2f MB of %.2f MB (reliable part: %.0f kB)\n",
+		plan.Ordering, float64(plan.MinBytes)/1e6, float64(s.TotalBytes())/1e6,
+		float64(plan.ReliableSize)/1e3)
+
+	fmt.Println("\nVirtual quality levels (the manifest's `ssims` tuples, thinned):")
+	fmt.Printf("  %-10s %8s %10s\n", "SSIM", "frames", "bytes")
+	for _, pt := range prep.ThinPoints(plan.Points, 10) {
+		fmt.Printf("  %-10.4f %8d %10d\n", pt.Score, pt.Frames, pt.Bytes)
+	}
+}

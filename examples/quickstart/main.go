@@ -1,0 +1,55 @@
+// Quickstart: stream one video with VOXEL over an LTE trace and compare it
+// against the BOLA/QUIC baseline — the paper's headline comparison in
+// about thirty lines of API use.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"voxel"
+)
+
+func main() {
+	tr, err := voxel.LoadTrace("verizon")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(sys voxel.System) *voxel.Aggregate {
+		agg, err := voxel.Stream(voxel.Config{
+			Title:          "BBB",
+			System:         sys,
+			Trace:          tr,
+			BufferSegments: 2, // low-latency-like small buffer
+			Trials:         5,
+			Segments:       25,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return agg
+	}
+
+	fmt.Println("Streaming BBB over the Verizon LTE trace (2-segment buffer, 5 trials)…")
+	bola := run(voxel.BOLA)
+	vox := run(voxel.VOXEL)
+
+	fmt.Printf("\n%-12s %14s %14s %12s\n", "system", "p90 bufRatio", "mean bitrate", "median SSIM")
+	for _, row := range []struct {
+		name string
+		agg  *voxel.Aggregate
+	}{{"BOLA/QUIC", bola}, {"VOXEL", vox}} {
+		fmt.Printf("%-12s %13.2f%% %11.2f Mb %12.4f\n",
+			row.name,
+			100*row.agg.BufRatioP90(),
+			row.agg.BitrateMean()/1e6,
+			row.agg.ScoreCDF().Quantile(0.5))
+	}
+
+	if b, v := bola.BufRatioP90(), vox.BufRatioP90(); b > 0 {
+		fmt.Printf("\nVOXEL rebuffers %.0f%% less than the state of the art.\n", 100*(b-v)/b)
+	} else {
+		fmt.Println("\nNeither system rebuffered under these conditions.")
+	}
+}

@@ -1,0 +1,56 @@
+// Userstudy: reproduce the §5.3 study end to end — stream the same video
+// with BOLA and with VOXEL under challenging 3G conditions, derive the
+// clip statistics the participants saw, and put them in front of the
+// 54-user model panel.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"voxel"
+	"voxel/internal/trace"
+)
+
+func main() {
+	// Challenging conditions, as in the paper: a low-bandwidth 3G commute
+	// trace and a 1-segment buffer.
+	tr := trace.Riiser3GSet(3)[0]
+	fmt.Printf("Streaming BBB over a 3G commute trace (mean %.1f Mbps), 1-segment buffer…\n",
+		tr.Mean()/1e6)
+
+	run := func(sys voxel.System) *voxel.Aggregate {
+		agg, err := voxel.Stream(voxel.Config{
+			Title:          "BBB",
+			System:         sys,
+			Trace:          tr,
+			BufferSegments: 1,
+			Trials:         5,
+			Segments:       15,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return agg
+	}
+	bola := run(voxel.BOLA)
+	vox := run(voxel.VOXEL)
+
+	clipB := voxel.ClipFromAggregate(bola)
+	clipV := voxel.ClipFromAggregate(vox)
+	fmt.Printf("\nclip statistics    %-10s %-10s\n", "BOLA", "VOXEL")
+	fmt.Printf("bufRatio           %-10.3f %-10.3f\n", clipB.BufRatio, clipV.BufRatio)
+	fmt.Printf("mean SSIM          %-10.3f %-10.3f\n", clipB.MeanScore, clipV.MeanScore)
+	fmt.Printf("artifacts          %-10.3f %-10.3f\n", clipB.ArtifactFraction, clipV.ArtifactFraction)
+
+	out := voxel.RunSurvey(54, 1, clipB, clipV)
+	fmt.Printf("\n54-user panel      %-10s %-10s   (paper)\n", "BOLA", "VOXEL")
+	fmt.Printf("clarity MOS        %-10.2f %-10.2f\n", out.MeanA.Clarity, out.MeanB.Clarity)
+	fmt.Printf("glitches MOS       %-10.2f %-10.2f\n", out.MeanA.Glitches, out.MeanB.Glitches)
+	fmt.Printf("fluidity MOS       %-10.2f %-10.2f   (+1.7 for VOXEL)\n", out.MeanA.Fluidity, out.MeanB.Fluidity)
+	fmt.Printf("experience MOS     %-10.2f %-10.2f   (+0.77 for VOXEL)\n", out.MeanA.Experience, out.MeanB.Experience)
+	pc := func(x float64) string { return fmt.Sprintf("%.0f%%", 100*x) }
+	fmt.Printf("preference         %-10s %-10s   (16%% / 84%%)\n", pc(1-out.PreferB), pc(out.PreferB))
+	fmt.Printf("would stop         %-10s %-10s   (31%% / 10%%)\n", pc(out.WouldStopA), pc(out.WouldStopB))
+	fmt.Printf("won't watch longer %-10s %-10s   (74%% / 36.7%%)\n", pc(out.WouldNotWatchA), pc(out.WouldNotWatchB))
+}

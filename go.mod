@@ -1,0 +1,3 @@
+module voxel
+
+go 1.22

@@ -1,0 +1,44 @@
+package abr
+
+import (
+	"time"
+
+	"voxel/internal/video"
+)
+
+// Tput is the naive throughput-based algorithm from §5 ("a naïve
+// throughput-based ABR algorithm, abbreviated as Tput"): pick the highest
+// quality whose full-segment bitrate fits under a safety-scaled throughput
+// estimate. It never abandons and never downloads partial segments.
+type Tput struct {
+	noSamples
+	// Safety scales the throughput estimate (default 0.9).
+	Safety float64
+}
+
+// NewTput returns the naive throughput-based algorithm.
+func NewTput() *Tput { return &Tput{Safety: 0.9} }
+
+// Name implements Algorithm.
+func (t *Tput) Name() string { return "Tput" }
+
+// Decide implements Algorithm.
+func (t *Tput) Decide(st State, opts Options) Decision {
+	if st.Buffer >= st.BufferCap {
+		return Decision{Sleep: st.Buffer - st.BufferCap + time.Millisecond}
+	}
+	budget := st.Throughput * t.Safety
+	best := opts.Full(0)
+	for q := 1; q < len(opts.PerQuality); q++ {
+		c := opts.Full(video.Quality(q))
+		if c.Bitrate() <= budget {
+			best = c
+		}
+	}
+	return Decision{Candidate: best}
+}
+
+// Abandon implements Algorithm: Tput never abandons.
+func (t *Tput) Abandon(State, Options, Progress) AbandonAction {
+	return AbandonAction{Kind: Continue}
+}

@@ -1,0 +1,137 @@
+package cc
+
+import (
+	"time"
+
+	"voxel/internal/sim"
+)
+
+// BBRLite is a compact model-based (delay-aware) congestion controller in
+// the spirit of BBR v1: it estimates the bottleneck bandwidth from the
+// delivery rate and the path's round-trip propagation delay from the
+// minimum RTT, and paces the window toward their product instead of
+// filling the queue until loss.
+//
+// Appendix B of the paper observes that VOXEL's CUBIC inheritance suffers
+// behind long (750-packet) queues and names delay-based congestion control
+// as future work; this controller exists to run that experiment
+// (BenchmarkFigB1DelayBasedCC / the Fig16-extension ablation).
+type BBRLite struct {
+	common
+
+	// btlBw is the windowed-max delivery rate estimate (bytes/sec).
+	btlBw    float64
+	bwStamp  sim.Time
+	minRTT   sim.Time
+	rttStamp sim.Time
+
+	// delivered counts bytes acked; used for delivery-rate samples.
+	delivered   int
+	lastSample  sim.Time
+	sampleBytes int
+
+	// probe cycling: periodically raise gain to find more bandwidth, then
+	// drain.
+	cycleStart sim.Time
+	cycleIdx   int
+	startup    bool
+}
+
+var bbrGains = []float64{1.25, 0.75, 1, 1, 1, 1, 1, 1}
+
+// NewBBRLite returns the delay-based controller at the initial window.
+func NewBBRLite() *BBRLite {
+	return &BBRLite{
+		common:  common{cwnd: initialWindow, ssthresh: maxWindow},
+		startup: true,
+		minRTT:  100 * time.Millisecond,
+	}
+}
+
+// OnAck folds a delivery sample into the model and sets the window to the
+// gain-scaled bandwidth-delay product.
+func (b *BBRLite) OnAck(now sim.Time, bytes int, rtt sim.Time) {
+	b.ackInFlight(bytes)
+	if rtt > 0 && (rtt < b.minRTT || now-b.rttStamp > 10*time.Second) {
+		b.minRTT = rtt
+		b.rttStamp = now
+	}
+	// Delivery-rate sample over ≈one RTT windows.
+	b.sampleBytes += bytes
+	if b.lastSample == 0 {
+		b.lastSample = now
+	}
+	if elapsed := now - b.lastSample; elapsed >= b.minRTT && elapsed > 0 {
+		rate := float64(b.sampleBytes) / elapsed.Seconds()
+		if rate > b.btlBw || now-b.bwStamp > 10*b.minRTT {
+			b.btlBw = rate
+			b.bwStamp = now
+		}
+		b.sampleBytes = 0
+		b.lastSample = now
+	}
+
+	if b.btlBw <= 0 {
+		// Startup: exponential growth like slow start.
+		b.cwnd += bytes
+		if b.cwnd > maxWindow {
+			b.cwnd = maxWindow
+		}
+		return
+	}
+
+	gain := 2.0 // startup gain
+	if !b.startup {
+		if now-b.cycleStart > b.minRTT {
+			b.cycleStart = now
+			b.cycleIdx = (b.cycleIdx + 1) % len(bbrGains)
+		}
+		gain = bbrGains[b.cycleIdx]
+	} else if float64(b.cwnd) > 2.5*b.btlBw*b.minRTT.Seconds() {
+		// Bandwidth stopped growing relative to the window: exit startup.
+		b.startup = false
+		b.cycleStart = now
+	}
+
+	bdp := b.btlBw * b.minRTT.Seconds()
+	target := int(gain*bdp) + 3*MSS
+	if target < minWindow {
+		target = minWindow
+	}
+	if target > maxWindow {
+		target = maxWindow
+	}
+	// Move toward the target rather than jumping (smooths the sim).
+	if target > b.cwnd {
+		b.cwnd += bytes
+		if b.cwnd > target {
+			b.cwnd = target
+		}
+	} else {
+		b.cwnd = target
+	}
+}
+
+// OnLoss: BBR does not treat loss as a primary signal; it only clamps the
+// window modestly on a new loss event so drop-tail queues still bound it.
+func (b *BBRLite) OnLoss(_ sim.Time, bytes int, isNewEvent bool) {
+	b.ackInFlight(bytes)
+	if !isNewEvent {
+		return
+	}
+	reduced := b.cwnd * 9 / 10
+	if reduced < minWindow {
+		reduced = minWindow
+	}
+	b.cwnd = reduced
+	b.startup = false
+}
+
+// OnRetransmissionTimeout collapses to the minimum window and restarts the
+// model conservatively.
+func (b *BBRLite) OnRetransmissionTimeout(sim.Time) {
+	b.cwnd = minWindow
+	b.btlBw = 0
+	b.inFlight = 0
+	b.startup = true
+}

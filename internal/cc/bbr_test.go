@@ -1,0 +1,74 @@
+package cc
+
+import (
+	"testing"
+	"time"
+
+	"voxel/internal/sim"
+)
+
+func TestBBRStartupGrows(t *testing.T) {
+	b := NewBBRLite()
+	w0 := b.Window()
+	drive(b, 0, 2)
+	if b.Window() <= w0 {
+		t.Fatalf("startup did not grow: %d → %d", w0, b.Window())
+	}
+}
+
+func TestBBRConvergesNearBDP(t *testing.T) {
+	// Feed a steady 10 Mbps delivery at 60 ms RTT: the window should
+	// converge to ≈1–3× BDP (75 kB), far below CUBIC's queue-filling.
+	b := NewBBRLite()
+	now := sim.Time(0)
+	const rtt = 60 * time.Millisecond
+	const rateBps = 10e6 / 8 // bytes per second
+	for i := 0; i < 400; i++ {
+		// Deliver one RTT's worth of bytes as MSS-sized ACKs.
+		bytes := int(rateBps * rtt.Seconds())
+		for n := 0; n < bytes; n += MSS {
+			b.OnPacketSent(now, MSS)
+			b.OnAck(now, MSS, rtt)
+		}
+		now += rtt
+	}
+	bdp := int(rateBps * rtt.Seconds())
+	if b.Window() < bdp/2 || b.Window() > 4*bdp {
+		t.Fatalf("window %d not near BDP %d", b.Window(), bdp)
+	}
+	if b.startup {
+		t.Fatal("should have exited startup")
+	}
+}
+
+func TestBBRToleratesLoss(t *testing.T) {
+	// A single loss must not halve the window (unlike CUBIC/Reno).
+	b := NewBBRLite()
+	drive(b, 0, 6)
+	w := b.Window()
+	b.OnPacketSent(time.Second, MSS)
+	b.OnLoss(time.Second, MSS, true)
+	if b.Window() < w*8/10 {
+		t.Fatalf("BBR over-reacted to loss: %d → %d", w, b.Window())
+	}
+}
+
+func TestBBRMinRTTTracksDecrease(t *testing.T) {
+	b := NewBBRLite()
+	b.OnPacketSent(0, MSS)
+	b.OnAck(0, MSS, 80*time.Millisecond)
+	b.OnPacketSent(0, MSS)
+	b.OnAck(0, MSS, 60*time.Millisecond)
+	if b.minRTT != 60*time.Millisecond {
+		t.Fatalf("minRTT %v", b.minRTT)
+	}
+}
+
+func TestBBRRTOResets(t *testing.T) {
+	b := NewBBRLite()
+	drive(b, 0, 6)
+	b.OnRetransmissionTimeout(time.Second)
+	if b.Window() != minWindow || b.InFlight() != 0 || !b.startup {
+		t.Fatalf("RTO reset incomplete: w=%d", b.Window())
+	}
+}

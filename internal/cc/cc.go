@@ -1,0 +1,291 @@
+// Package cc implements the congestion controllers used in the simulator:
+// CUBIC (RFC 8312), the controller QUIC* inherits from Google QUIC in the
+// paper, and Reno, used by the Harpoon-like cross-traffic flows. Both
+// reliable and unreliable QUIC* streams are governed by the same CUBIC
+// controller (§4.2: unreliable streams "are subject to the congestion
+// (CUBIC) and flow-control mechanisms of the QUIC connection").
+package cc
+
+import (
+	"math"
+	"time"
+
+	"voxel/internal/sim"
+)
+
+// Controller is the interface the transport drives.
+type Controller interface {
+	// OnPacketSent records bytes entering the network.
+	OnPacketSent(now sim.Time, bytes int)
+	// OnAck records bytes leaving the network via acknowledgment.
+	OnAck(now sim.Time, bytes int, rtt sim.Time)
+	// OnLoss records bytes declared lost and reduces the window. The
+	// transport coalesces losses within one RTT into a single congestion
+	// event by its own bookkeeping (endOfRecovery); isNewEvent says whether
+	// this loss starts a new event.
+	OnLoss(now sim.Time, bytes int, isNewEvent bool)
+	// OnRetransmissionTimeout collapses the window after an RTO/PTO chain.
+	OnRetransmissionTimeout(now sim.Time)
+	// Window returns the congestion window in bytes.
+	Window() int
+	// InFlight returns the bytes currently unacknowledged.
+	InFlight() int
+	// CanSend reports whether another packet of the given size fits.
+	CanSend(bytes int) bool
+}
+
+// MSS is the maximum segment size used for window arithmetic.
+const MSS = 1200
+
+const (
+	initialWindow = 10 * MSS
+	minWindow     = 2 * MSS
+	maxWindow     = 16 << 20
+)
+
+// common holds state shared by Cubic and Reno.
+type common struct {
+	cwnd     int
+	ssthresh int
+	inFlight int
+}
+
+func (c *common) Window() int   { return c.cwnd }
+func (c *common) InFlight() int { return c.inFlight }
+func (c *common) CanSend(bytes int) bool {
+	return c.inFlight+bytes <= c.cwnd
+}
+func (c *common) OnPacketSent(_ sim.Time, bytes int) { c.inFlight += bytes }
+func (c *common) ackInFlight(bytes int) {
+	c.inFlight -= bytes
+	if c.inFlight < 0 {
+		c.inFlight = 0
+	}
+}
+
+// Cubic implements RFC 8312 CUBIC with fast convergence and the
+// TCP-friendly (Reno-estimate) region.
+type Cubic struct {
+	common
+	wMax       float64 // window before the last reduction, bytes
+	wLastMax   float64
+	k          float64 // seconds
+	epochStart sim.Time
+	ackedBytes int // Reno-estimate accumulator
+	wEst       float64
+}
+
+const (
+	cubicC    = 0.4
+	cubicBeta = 0.7
+)
+
+// NewCubic returns a CUBIC controller at the initial window.
+func NewCubic() *Cubic {
+	return &Cubic{common: common{cwnd: initialWindow, ssthresh: maxWindow}}
+}
+
+// OnAck grows the window: slow start below ssthresh, cubic above.
+func (c *Cubic) OnAck(now sim.Time, bytes int, rtt sim.Time) {
+	c.ackInFlight(bytes)
+	if c.cwnd < c.ssthresh {
+		c.cwnd += bytes
+		if c.cwnd > maxWindow {
+			c.cwnd = maxWindow
+		}
+		return
+	}
+	if c.epochStart == 0 {
+		c.epochStart = now
+		if float64(c.cwnd) < c.wMax {
+			c.k = math.Cbrt(float64(c.wMax-float64(c.cwnd)) / float64(MSS) / cubicC)
+		} else {
+			c.k = 0
+			c.wMax = float64(c.cwnd)
+		}
+		c.wEst = float64(c.cwnd)
+		c.ackedBytes = 0
+	}
+	t := (now - c.epochStart).Seconds()
+	// Target from the cubic function, in bytes.
+	wCubic := cubicC*math.Pow(t-c.k, 3)*MSS + c.wMax
+	// Reno-friendly estimate: grows ~one MSS per RTT worth of ACKs.
+	c.ackedBytes += bytes
+	if c.ackedBytes >= c.cwnd {
+		c.ackedBytes -= c.cwnd
+		c.wEst += MSS
+	}
+	target := wCubic
+	if c.wEst > target {
+		target = c.wEst
+	}
+	if target > float64(c.cwnd) {
+		// Approach the target over roughly one RTT of ACKs.
+		incr := (target - float64(c.cwnd)) / float64(c.cwnd) * float64(bytes)
+		if incr < 1 {
+			incr = 1
+		}
+		c.cwnd += int(incr)
+	}
+	if c.cwnd > maxWindow {
+		c.cwnd = maxWindow
+	}
+}
+
+// OnLoss applies CUBIC's multiplicative decrease for a new congestion
+// event; subsequent losses within the same event only deflate inFlight.
+func (c *Cubic) OnLoss(_ sim.Time, bytes int, isNewEvent bool) {
+	c.ackInFlight(bytes)
+	if !isNewEvent {
+		return
+	}
+	c.epochStart = 0
+	w := float64(c.cwnd)
+	if w < c.wLastMax {
+		// Fast convergence: release bandwidth to newer flows.
+		c.wLastMax = w * (1 + cubicBeta) / 2
+	} else {
+		c.wLastMax = w
+	}
+	c.wMax = c.wLastMax
+	c.cwnd = int(w * cubicBeta)
+	if c.cwnd < minWindow {
+		c.cwnd = minWindow
+	}
+	c.ssthresh = c.cwnd
+}
+
+// OnRetransmissionTimeout collapses to the minimum window and re-enters
+// slow start.
+func (c *Cubic) OnRetransmissionTimeout(sim.Time) {
+	c.ssthresh = c.cwnd / 2
+	if c.ssthresh < minWindow {
+		c.ssthresh = minWindow
+	}
+	c.cwnd = minWindow
+	c.epochStart = 0
+	c.inFlight = 0
+}
+
+// Reno is classic AIMD TCP congestion control, used by cross-traffic flows.
+type Reno struct {
+	common
+	ackedBytes int
+}
+
+// NewReno returns a Reno controller at the initial window.
+func NewReno() *Reno {
+	return &Reno{common: common{cwnd: initialWindow, ssthresh: maxWindow}}
+}
+
+// OnAck grows the window: slow start below ssthresh, +1 MSS per RTT above.
+func (r *Reno) OnAck(_ sim.Time, bytes int, _ sim.Time) {
+	r.ackInFlight(bytes)
+	if r.cwnd < r.ssthresh {
+		r.cwnd += bytes
+	} else {
+		r.ackedBytes += bytes
+		if r.ackedBytes >= r.cwnd {
+			r.ackedBytes -= r.cwnd
+			r.cwnd += MSS
+		}
+	}
+	if r.cwnd > maxWindow {
+		r.cwnd = maxWindow
+	}
+}
+
+// OnLoss halves the window on a new congestion event.
+func (r *Reno) OnLoss(_ sim.Time, bytes int, isNewEvent bool) {
+	r.ackInFlight(bytes)
+	if !isNewEvent {
+		return
+	}
+	r.cwnd /= 2
+	if r.cwnd < minWindow {
+		r.cwnd = minWindow
+	}
+	r.ssthresh = r.cwnd
+}
+
+// OnRetransmissionTimeout collapses to the minimum window.
+func (r *Reno) OnRetransmissionTimeout(sim.Time) {
+	r.ssthresh = r.cwnd / 2
+	if r.ssthresh < minWindow {
+		r.ssthresh = minWindow
+	}
+	r.cwnd = minWindow
+	r.inFlight = 0
+}
+
+// RTTEstimator maintains smoothed RTT and variance per RFC 6298/9002 and
+// derives the probe timeout the transport arms.
+type RTTEstimator struct {
+	srtt    sim.Time
+	rttvar  sim.Time
+	minRTT  sim.Time
+	latest  sim.Time
+	samples int
+}
+
+// OnSample folds one RTT measurement into the estimator.
+func (e *RTTEstimator) OnSample(rtt sim.Time) {
+	if rtt <= 0 {
+		return
+	}
+	if e.samples == 0 || rtt < e.minRTT {
+		e.minRTT = rtt
+	}
+	e.latest = rtt
+	if e.samples == 0 {
+		e.srtt = rtt
+		e.rttvar = rtt / 2
+	} else {
+		d := e.srtt - rtt
+		if d < 0 {
+			d = -d
+		}
+		e.rttvar = (3*e.rttvar + d) / 4
+		e.srtt = (7*e.srtt + rtt) / 8
+	}
+	e.samples++
+}
+
+// SmoothedRTT returns the smoothed RTT, or a conservative default before
+// any sample arrives.
+func (e *RTTEstimator) SmoothedRTT() sim.Time {
+	if e.samples == 0 {
+		return 100 * time.Millisecond
+	}
+	return e.srtt
+}
+
+// MinRTT returns the minimum observed RTT.
+func (e *RTTEstimator) MinRTT() sim.Time {
+	if e.samples == 0 {
+		return 100 * time.Millisecond
+	}
+	return e.minRTT
+}
+
+// LatestRTT returns the most recent sample (loss detection uses
+// max(smoothed, latest) so queue-delay growth does not trigger spurious
+// losses).
+func (e *RTTEstimator) LatestRTT() sim.Time {
+	if e.samples == 0 {
+		return 100 * time.Millisecond
+	}
+	return e.latest
+}
+
+// PTO returns the probe timeout: srtt + max(4*rttvar, 1ms).
+func (e *RTTEstimator) PTO() sim.Time {
+	v := 4 * e.rttvar
+	if v < time.Millisecond {
+		v = time.Millisecond
+	}
+	return e.SmoothedRTT() + v
+}
+
+// Samples returns the number of RTT samples folded in.
+func (e *RTTEstimator) Samples() int { return e.samples }

@@ -1,0 +1,226 @@
+package cc
+
+import (
+	"testing"
+	"time"
+
+	"voxel/internal/sim"
+)
+
+const rtt = 60 * time.Millisecond
+
+// drive simulates count RTT rounds of full-window ACKs.
+func drive(c Controller, start sim.Time, rounds int) sim.Time {
+	now := start
+	for i := 0; i < rounds; i++ {
+		w := c.Window()
+		sent := 0
+		for sent+MSS <= w {
+			c.OnPacketSent(now, MSS)
+			sent += MSS
+		}
+		now += rtt
+		for acked := 0; acked < sent; acked += MSS {
+			c.OnAck(now, MSS, rtt)
+		}
+	}
+	return now
+}
+
+func TestSlowStartDoubles(t *testing.T) {
+	for _, c := range []Controller{NewCubic(), NewReno()} {
+		w0 := c.Window()
+		drive(c, 0, 1)
+		if got := c.Window(); got < 2*w0-MSS {
+			t.Errorf("%T: window after 1 RTT = %d, want ≈%d", c, got, 2*w0)
+		}
+	}
+}
+
+func TestCanSendRespectsWindow(t *testing.T) {
+	c := NewCubic()
+	for c.CanSend(MSS) {
+		c.OnPacketSent(0, MSS)
+	}
+	if c.InFlight() > c.Window() {
+		t.Fatalf("inflight %d exceeds cwnd %d", c.InFlight(), c.Window())
+	}
+	if c.CanSend(MSS) {
+		t.Fatal("CanSend should be false at full window")
+	}
+	c.OnAck(rtt, MSS, rtt)
+	if !c.CanSend(MSS) {
+		t.Fatal("CanSend should be true after an ACK frees space")
+	}
+}
+
+func TestCubicMultiplicativeDecrease(t *testing.T) {
+	c := NewCubic()
+	drive(c, 0, 6)
+	before := c.Window()
+	c.OnPacketSent(time.Second, MSS)
+	c.OnLoss(time.Second, MSS, true)
+	after := c.Window()
+	want := int(float64(before) * cubicBeta)
+	if after < want-MSS || after > want+MSS {
+		t.Fatalf("window after loss = %d, want ≈%d (0.7×%d)", after, want, before)
+	}
+	if c.ssthresh != after {
+		t.Fatalf("ssthresh = %d, want %d", c.ssthresh, after)
+	}
+}
+
+func TestLossWithinSameEventDoesNotDoubleReduce(t *testing.T) {
+	c := NewCubic()
+	drive(c, 0, 6)
+	c.OnPacketSent(time.Second, 3*MSS)
+	c.OnLoss(time.Second, MSS, true)
+	w := c.Window()
+	c.OnLoss(time.Second, MSS, false)
+	c.OnLoss(time.Second, MSS, false)
+	if c.Window() != w {
+		t.Fatalf("window changed on same-event losses: %d → %d", w, c.Window())
+	}
+}
+
+func TestCubicGrowsAfterLoss(t *testing.T) {
+	c := NewCubic()
+	drive(c, 0, 8)
+	c.OnPacketSent(time.Second, MSS)
+	c.OnLoss(time.Second, MSS, true)
+	after := c.Window()
+	end := drive(c, time.Second, 30)
+	if c.Window() <= after {
+		t.Fatalf("cubic did not grow after loss: %d → %d (by %v)", after, c.Window(), end)
+	}
+}
+
+func TestCubicConvexRecoveryTowardWMax(t *testing.T) {
+	c := NewCubic()
+	drive(c, 0, 4)
+	wBefore := c.Window()
+	c.OnPacketSent(2*time.Second, MSS)
+	c.OnLoss(2*time.Second, MSS, true)
+	// After many RTTs, cubic should plateau near and then exceed wMax.
+	drive(c, 2*time.Second, 200)
+	if c.Window() < wBefore {
+		t.Fatalf("cubic failed to recover toward wMax: %d < %d", c.Window(), wBefore)
+	}
+}
+
+func TestFastConvergence(t *testing.T) {
+	c := NewCubic()
+	drive(c, 0, 10)
+	c.OnPacketSent(time.Second, MSS)
+	c.OnLoss(time.Second, MSS, true)
+	first := c.wLastMax
+	// Second loss at a lower window: wLastMax should shrink further than cwnd.
+	c.OnPacketSent(time.Second+rtt, MSS)
+	c.OnLoss(time.Second+rtt, MSS, true)
+	if c.wLastMax >= first {
+		t.Fatalf("fast convergence did not shrink wLastMax: %v → %v", first, c.wLastMax)
+	}
+}
+
+func TestRTOCollapsesWindow(t *testing.T) {
+	for _, c := range []Controller{NewCubic(), NewReno()} {
+		drive(c, 0, 8)
+		c.OnRetransmissionTimeout(time.Second)
+		if c.Window() != minWindow {
+			t.Errorf("%T: window after RTO = %d, want %d", c, c.Window(), minWindow)
+		}
+		if c.InFlight() != 0 {
+			t.Errorf("%T: inflight after RTO = %d, want 0", c, c.InFlight())
+		}
+	}
+}
+
+func TestRenoAIMD(t *testing.T) {
+	r := NewReno()
+	// Force congestion avoidance.
+	r.ssthresh = r.cwnd
+	w0 := r.Window()
+	drive(r, 0, 1)
+	// +1 MSS per RTT in congestion avoidance.
+	if got := r.Window(); got != w0+MSS {
+		t.Fatalf("reno CA growth: %d → %d, want +%d", w0, got, MSS)
+	}
+	r.OnPacketSent(time.Second, MSS)
+	r.OnLoss(time.Second, MSS, true)
+	if got := r.Window(); got != (w0+MSS)/2 {
+		t.Fatalf("reno halving: got %d, want %d", got, (w0+MSS)/2)
+	}
+}
+
+func TestWindowNeverBelowMinimum(t *testing.T) {
+	for _, c := range []Controller{NewCubic(), NewReno()} {
+		for i := 0; i < 50; i++ {
+			c.OnPacketSent(0, MSS)
+			c.OnLoss(0, MSS, true)
+		}
+		if c.Window() < minWindow {
+			t.Errorf("%T: window %d below minimum %d", c, c.Window(), minWindow)
+		}
+	}
+}
+
+func TestInFlightNeverNegative(t *testing.T) {
+	c := NewCubic()
+	c.OnAck(0, MSS, rtt) // spurious ACK with nothing in flight
+	if c.InFlight() != 0 {
+		t.Fatalf("inflight = %d, want 0", c.InFlight())
+	}
+}
+
+func TestRTTEstimator(t *testing.T) {
+	var e RTTEstimator
+	if e.SmoothedRTT() != 100*time.Millisecond {
+		t.Fatal("default srtt wrong")
+	}
+	e.OnSample(60 * time.Millisecond)
+	if e.SmoothedRTT() != 60*time.Millisecond {
+		t.Fatalf("first sample srtt = %v", e.SmoothedRTT())
+	}
+	if e.MinRTT() != 60*time.Millisecond {
+		t.Fatalf("minRTT = %v", e.MinRTT())
+	}
+	e.OnSample(100 * time.Millisecond)
+	if s := e.SmoothedRTT(); s <= 60*time.Millisecond || s >= 100*time.Millisecond {
+		t.Fatalf("srtt after second sample = %v, want between", s)
+	}
+	e.OnSample(40 * time.Millisecond)
+	if e.MinRTT() != 40*time.Millisecond {
+		t.Fatalf("minRTT should track new minimum, got %v", e.MinRTT())
+	}
+	if e.PTO() <= e.SmoothedRTT() {
+		t.Fatal("PTO should exceed srtt")
+	}
+	e.OnSample(0) // ignored
+	if e.Samples() != 3 {
+		t.Fatalf("samples = %d, want 3", e.Samples())
+	}
+}
+
+func TestCubicSteadyStateThroughputOrdering(t *testing.T) {
+	// With periodic losses every N rounds, a flow losing less often should
+	// sustain a larger average window.
+	run := func(lossEvery int) float64 {
+		c := NewCubic()
+		now := sim.Time(0)
+		var sum float64
+		const rounds = 200
+		for i := 0; i < rounds; i++ {
+			now = drive(c, now, 1)
+			if i%lossEvery == lossEvery-1 {
+				c.OnPacketSent(now, MSS)
+				c.OnLoss(now, MSS, true)
+			}
+			sum += float64(c.Window())
+		}
+		return sum / rounds
+	}
+	rare, frequent := run(40), run(5)
+	if rare <= frequent {
+		t.Fatalf("rare-loss window %v should exceed frequent-loss window %v", rare, frequent)
+	}
+}

@@ -1,0 +1,109 @@
+package dash
+
+import (
+	"testing"
+
+	"voxel/internal/video"
+)
+
+func TestCompactRoundTrip(t *testing.T) {
+	v := smallVideo(t, "BBB", 4)
+	m := Build(v, BuildOptions{Voxel: true, PointsPerSegment: 10})
+	data := m.EncodeCompact()
+	got, err := DecodeCompact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != m.Title || got.SegmentDuration != m.SegmentDuration {
+		t.Fatal("metadata lost")
+	}
+	if len(got.Reps) != len(m.Reps) {
+		t.Fatal("rep count lost")
+	}
+	for q := range m.Reps {
+		a, b := m.Reps[q], got.Reps[q]
+		if a.Bandwidth != b.Bandwidth || a.Resolution != b.Resolution {
+			t.Fatalf("rep %d metadata mismatch", q)
+		}
+		for i := range a.Segments {
+			sa, sb := a.Segments[i], b.Segments[i]
+			if sa.MediaRange != sb.MediaRange || sa.Bytes != sb.Bytes ||
+				sa.ReliableSize != sb.ReliableSize {
+				t.Fatalf("seg Q%d/%d scalars mismatch", q, i)
+			}
+			if len(sa.Points) != len(sb.Points) {
+				t.Fatalf("seg Q%d/%d point count", q, i)
+			}
+			for j := range sa.Points {
+				if sa.Points[j].Frames != sb.Points[j].Frames ||
+					sa.Points[j].Bytes != sb.Points[j].Bytes {
+					t.Fatalf("point Q%d/%d/%d mismatch", q, i, j)
+				}
+				if d := sa.Points[j].Score - sb.Points[j].Score; d > 1e-4 || d < -1e-4 {
+					t.Fatalf("score precision: %v vs %v", sa.Points[j].Score, sb.Points[j].Score)
+				}
+			}
+			if len(sa.Reliable) != len(sb.Reliable) || len(sa.Unreliable) != len(sb.Unreliable) {
+				t.Fatalf("range counts Q%d/%d", q, i)
+			}
+			for j := range sa.Reliable {
+				if sa.Reliable[j] != sb.Reliable[j] {
+					t.Fatalf("reliable range Q%d/%d/%d: %v vs %v", q, i, j, sa.Reliable[j], sb.Reliable[j])
+				}
+			}
+			for j := range sa.Unreliable {
+				if sa.Unreliable[j] != sb.Unreliable[j] {
+					t.Fatalf("unreliable range Q%d/%d/%d", q, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCompactMuchSmallerThanXML(t *testing.T) {
+	v := smallVideo(t, "ToS", 10)
+	m := Build(v, BuildOptions{Voxel: true, PointsPerSegment: 12})
+	xml, err := m.EncodeMPD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compact := m.EncodeCompact()
+	if len(compact) >= len(xml)/3 {
+		t.Fatalf("compact %d bytes not ≪ XML %d bytes", len(compact), len(xml))
+	}
+	t.Logf("XML %d bytes → compact %d bytes (%.1f×)", len(xml), len(compact),
+		float64(len(xml))/float64(len(compact)))
+}
+
+func TestCompactRejectsGarbage(t *testing.T) {
+	if _, err := DecodeCompact(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := DecodeCompact([]byte("not a manifest at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Truncations of a valid encoding must error, not panic.
+	v := smallVideo(t, "BBB", 2)
+	m := Build(v, BuildOptions{Voxel: true, PointsPerSegment: 4})
+	data := m.EncodeCompact()
+	for _, cut := range []int{5, 10, len(data) / 2, len(data) - 3} {
+		if _, err := DecodeCompact(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestCompactPlainManifest(t *testing.T) {
+	v := smallVideo(t, "ED", 3)
+	m := Build(v, BuildOptions{})
+	got, err := DecodeCompact(m.EncodeCompact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Segment(video.Quality(12), 0).Voxel() {
+		t.Fatal("plain manifest decoded with VOXEL data")
+	}
+	if got.Segment(video.Quality(12), 1).Bytes != m.Segment(video.Quality(12), 1).Bytes {
+		t.Fatal("sizes lost")
+	}
+}

@@ -1,0 +1,292 @@
+// Package exp is the experiment harness: it assembles the full stack —
+// simulator, trace-shaped path, QUIC* pair, origin server, player — runs
+// repeated trials with the §5 trace-shifting procedure, and aggregates the
+// paper's metrics (bufRatio, average bitrate, per-segment QoE scores,
+// skipped-data fractions).
+package exp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"voxel/internal/abr"
+	"voxel/internal/cc"
+	"voxel/internal/crosstraffic"
+	"voxel/internal/dash"
+	"voxel/internal/httpsim"
+	"voxel/internal/netem"
+	"voxel/internal/player"
+	"voxel/internal/prep"
+	"voxel/internal/qoe"
+	"voxel/internal/quic"
+	"voxel/internal/server"
+	"voxel/internal/sim"
+	"voxel/internal/stats"
+	"voxel/internal/trace"
+	"voxel/internal/video"
+)
+
+// System identifies a full client configuration (ABR + transport mode), in
+// the paper's terms.
+type System string
+
+// The systems compared across the evaluation.
+const (
+	SysBolaQ        System = "BOLA/Q"
+	SysBolaQStar    System = "BOLA/Q*"
+	SysMPCQ         System = "MPC/Q"
+	SysMPCQStar     System = "MPC/Q*"
+	SysTputQ        System = "Tput/Q"
+	SysTputQStar    System = "Tput/Q*"
+	SysBeta         System = "BETA"
+	SysBolaSSIM     System = "BOLA-SSIM"
+	SysVoxel        System = "VOXEL"
+	SysVoxelRel     System = "VOXEL-rel"     // partial reliability disabled (Fig. 18c,d)
+	SysVoxelUntuned System = "VOXEL-untuned" // safety 1.0 (Fig. 17)
+)
+
+// Config specifies one experiment cell.
+type Config struct {
+	Title          string
+	System         System
+	BufferSegments int
+	Trace          *trace.Trace
+	QueuePackets   int
+	Trials         int
+	Metric         qoe.Metric
+	// Segments limits the clip length (0 = the full 75 segments).
+	Segments int
+	// CrossTraffic offers this much competing load (bps) through a fixed
+	// LinkCapacity link instead of the trace (§5.1 cross-traffic trials).
+	CrossTraffic float64
+	LinkCapacity float64
+	Seed         int64
+	// MaxSimTime bounds one trial's virtual time (default 20× media).
+	MaxSimTime time.Duration
+	// CC selects the server-side congestion controller: "cubic" (default,
+	// what the paper's QUIC* inherits) or "bbr" (the delay-based control
+	// Appendix B names as future work).
+	CC string
+}
+
+func (c Config) withDefaults() Config {
+	if c.BufferSegments == 0 {
+		c.BufferSegments = 7
+	}
+	if c.QueuePackets == 0 {
+		c.QueuePackets = netem.DefaultQueuePackets
+	}
+	if c.Trials == 0 {
+		c.Trials = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Trial is one playback run's summary.
+type Trial struct {
+	BufRatio     float64
+	AvgBitrate   float64
+	MeanScore    float64
+	Scores       []float64
+	Skipped      float64
+	Residual     float64
+	Wasted       int64
+	StartupDelay time.Duration
+	Completed    bool
+}
+
+// Aggregate collects trials of one configuration.
+type Aggregate struct {
+	Config    Config
+	Trials    []Trial
+	BufRatios []float64
+	Bitrates  []float64
+	AllScores []float64
+}
+
+// BufRatioP90 returns the 90th percentile bufRatio across trials (the
+// paper's headline statistic).
+func (a *Aggregate) BufRatioP90() float64 { return stats.Percentile(a.BufRatios, 90) }
+
+// BufRatioMean returns the mean bufRatio.
+func (a *Aggregate) BufRatioMean() float64 { return stats.Mean(a.BufRatios) }
+
+// BitrateMean returns the mean of per-trial average bitrates (bps).
+func (a *Aggregate) BitrateMean() float64 { return stats.Mean(a.Bitrates) }
+
+// ScoreCDF returns the CDF over all streamed segments' scores.
+func (a *Aggregate) ScoreCDF() stats.CDF { return stats.NewCDF(a.AllScores) }
+
+// MeanScore returns the mean segment score across trials.
+func (a *Aggregate) MeanScore() float64 { return stats.Mean(a.AllScores) }
+
+// newAlgorithm builds the ABR instance for a system.
+func newAlgorithm(sys System) (abr.Algorithm, player.Mode, bool) {
+	switch sys {
+	case SysBolaQ:
+		return abr.NewBola(), player.ModeReliable, false
+	case SysBolaQStar:
+		return abr.NewBola(), player.ModeOpaque, false
+	case SysMPCQ:
+		return abr.NewMPC(), player.ModeReliable, false
+	case SysMPCQStar:
+		return abr.NewMPC(), player.ModeOpaque, false
+	case SysTputQ:
+		return abr.NewTput(), player.ModeReliable, false
+	case SysTputQStar:
+		return abr.NewTput(), player.ModeOpaque, false
+	case SysBeta:
+		return abr.NewBeta(), player.ModeReliable, true
+	case SysBolaSSIM:
+		return abr.NewBolaSSIM(), player.ModeVoxel, false
+	case SysVoxel:
+		return abr.NewABRStar(), player.ModeVoxel, false
+	case SysVoxelRel:
+		return abr.NewABRStar(), player.ModeVoxelReliable, false
+	case SysVoxelUntuned:
+		return abr.NewABRStarSafety(1.0), player.ModeVoxel, false
+	default:
+		panic(fmt.Sprintf("exp: unknown system %q", sys))
+	}
+}
+
+// manifest cache: prep is a one-time offline cost (§4.1), so share it.
+var (
+	manMu    sync.Mutex
+	manCache = map[string]*dash.Manifest{}
+)
+
+// ManifestFor returns the enriched manifest for (title, metric, segments),
+// cached across experiments.
+func ManifestFor(title string, metric qoe.Metric, segments int) *dash.Manifest {
+	key := fmt.Sprintf("%s/%v/%d", title, metric, segments)
+	manMu.Lock()
+	defer manMu.Unlock()
+	if m, ok := manCache[key]; ok {
+		return m
+	}
+	v := video.MustLoad(title)
+	if segments > 0 && segments < v.Segments {
+		v.Segments = segments
+	}
+	a := prep.NewAnalyzer()
+	a.Metric = metric
+	m := dash.Build(v, dash.BuildOptions{Voxel: true, PointsPerSegment: 12, Analyzer: a})
+	manCache[key] = m
+	return m
+}
+
+// Run executes all trials of a configuration.
+func Run(cfg Config) *Aggregate {
+	cfg = cfg.withDefaults()
+	agg := &Aggregate{Config: cfg}
+	man := ManifestFor(cfg.Title, cfg.Metric, cfg.Segments)
+	dur := man.Duration()
+	for i := 0; i < cfg.Trials; i++ {
+		shift := time.Duration(0)
+		if cfg.Trace != nil && cfg.Trials > 1 {
+			shift = cfg.Trace.Duration() * time.Duration(i) / time.Duration(cfg.Trials)
+		}
+		tr := runTrial(cfg, man, shift, cfg.Seed+int64(i)*7919)
+		agg.Trials = append(agg.Trials, tr)
+		agg.BufRatios = append(agg.BufRatios, tr.BufRatio)
+		agg.Bitrates = append(agg.Bitrates, tr.AvgBitrate)
+		agg.AllScores = append(agg.AllScores, tr.Scores...)
+		_ = dur
+	}
+	return agg
+}
+
+func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64) Trial {
+	s := sim.New(seed)
+
+	var path *netem.Path
+	var gen *crosstraffic.Generator
+	if cfg.CrossTraffic > 0 {
+		capacity := cfg.LinkCapacity
+		if capacity <= 0 {
+			capacity = 20e6
+		}
+		secs := int((man.Duration()*30)/time.Second) + 60
+		path = netem.NewPath(s, trace.Constant("link", capacity, secs), cfg.QueuePackets)
+		gen = crosstraffic.New(s, path, cfg.CrossTraffic)
+		gen.Start()
+	} else {
+		tr := cfg.Trace
+		if tr == nil {
+			tr = trace.Constant("default", 10e6, 600)
+		}
+		path = netem.NewPath(s, tr.Shifted(shift), cfg.QueuePackets)
+	}
+
+	var serverCfg quic.Config
+	if cfg.CC == "bbr" {
+		serverCfg.Controller = cc.NewBBRLite()
+	}
+	clientConn, serverConn := quic.NewPair(s, path, quic.Config{}, serverCfg)
+	if _, err := server.New(serverConn, man, httpsim.ServerOptions{}); err != nil {
+		panic(err)
+	}
+
+	alg, mode, beta := newAlgorithm(cfg.System)
+	v := video.MustLoad(cfg.Title)
+	if cfg.Segments > 0 && cfg.Segments < v.Segments {
+		v.Segments = cfg.Segments
+	}
+	pl := player.New(s, clientConn, v, man, player.Config{
+		Algorithm:      alg,
+		Mode:           mode,
+		BufferSegments: cfg.BufferSegments,
+		Metric:         cfg.Metric,
+		BetaCandidates: beta,
+	})
+	pl.Run(nil)
+
+	limit := cfg.MaxSimTime
+	if limit == 0 {
+		limit = 20 * man.Duration()
+	}
+	s.RunUntil(limit)
+	if gen != nil {
+		gen.Stop()
+	}
+
+	res := pl.Results()
+	tr := Trial{
+		BufRatio:     res.BufRatio(),
+		AvgBitrate:   res.AvgBitrate(),
+		MeanScore:    res.MeanScore(),
+		Scores:       res.Scores(),
+		Skipped:      res.SkippedFraction(),
+		Residual:     res.ResidualLossFraction(),
+		Wasted:       res.BytesWasted,
+		StartupDelay: res.StartupDelay,
+		Completed:    pl.Done(),
+	}
+	if !pl.Done() {
+		// The run hit the safety limit: treat all remaining media time as
+		// stall so wedged configurations show up as terrible, not absent.
+		played := time.Duration(len(res.Segments)) * man.SegmentDuration
+		missing := man.Duration() - played
+		if missing > 0 {
+			tr.BufRatio = (res.StallTime + missing).Seconds() / man.Duration().Seconds()
+		}
+	}
+	return tr
+}
+
+// RunMatrix runs one configuration per system and returns them keyed by
+// system — the shape most figures need.
+func RunMatrix(base Config, systems []System) map[System]*Aggregate {
+	out := make(map[System]*Aggregate, len(systems))
+	for _, sys := range systems {
+		c := base
+		c.System = sys
+		out[sys] = Run(c)
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package exp
+
+import (
+	"testing"
+
+	"voxel/internal/qoe"
+	"voxel/internal/trace"
+)
+
+func smallCfg(sys System) Config {
+	return Config{
+		Title:          "BBB",
+		System:         sys,
+		BufferSegments: 3,
+		Trace:          trace.Verizon(),
+		Trials:         2,
+		Segments:       6,
+		Seed:           1,
+	}
+}
+
+func TestRunBasic(t *testing.T) {
+	agg := Run(smallCfg(SysVoxel))
+	if len(agg.Trials) != 2 {
+		t.Fatalf("%d trials", len(agg.Trials))
+	}
+	for i, tr := range agg.Trials {
+		if !tr.Completed {
+			t.Fatalf("trial %d did not complete", i)
+		}
+		if len(tr.Scores) != 6 {
+			t.Fatalf("trial %d: %d scores", i, len(tr.Scores))
+		}
+		if tr.AvgBitrate <= 0 {
+			t.Fatalf("trial %d: no bitrate", i)
+		}
+		if tr.BufRatio < 0 || tr.BufRatio > 10 {
+			t.Fatalf("trial %d: bufRatio %v", i, tr.BufRatio)
+		}
+	}
+	if agg.ScoreCDF().Len() != 12 {
+		t.Fatalf("CDF over %d scores, want 12", agg.ScoreCDF().Len())
+	}
+}
+
+func TestAllSystemsRun(t *testing.T) {
+	for _, sys := range []System{
+		SysBolaQ, SysBolaQStar, SysMPCQ, SysTputQ, SysBeta,
+		SysBolaSSIM, SysVoxel, SysVoxelRel, SysVoxelUntuned,
+	} {
+		cfg := smallCfg(sys)
+		cfg.Trials = 1
+		cfg.Segments = 4
+		agg := Run(cfg)
+		if len(agg.Trials) != 1 || !agg.Trials[0].Completed {
+			t.Errorf("%s: trial failed", sys)
+		}
+	}
+}
+
+func TestUnknownSystemPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	newAlgorithm(System("nope"))
+}
+
+func TestTraceShiftingVariesTrials(t *testing.T) {
+	cfg := smallCfg(SysBolaQ)
+	cfg.Trace = trace.TMobile()
+	cfg.Trials = 3
+	agg := Run(cfg)
+	// With a highly varying trace the shifted trials should not be all
+	// identical in delivered bitrate.
+	same := agg.Bitrates[0] == agg.Bitrates[1] && agg.Bitrates[1] == agg.Bitrates[2]
+	if same {
+		t.Fatal("trace shifting produced identical trials")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Run(smallCfg(SysVoxel))
+	b := Run(smallCfg(SysVoxel))
+	for i := range a.Trials {
+		if a.Trials[i].BufRatio != b.Trials[i].BufRatio ||
+			a.Trials[i].AvgBitrate != b.Trials[i].AvgBitrate {
+			t.Fatalf("trial %d not deterministic", i)
+		}
+	}
+}
+
+func TestCrossTrafficRun(t *testing.T) {
+	cfg := smallCfg(SysVoxel)
+	cfg.Trace = nil
+	cfg.CrossTraffic = 10e6
+	cfg.LinkCapacity = 20e6
+	cfg.Trials = 1
+	agg := Run(cfg)
+	if !agg.Trials[0].Completed {
+		t.Fatal("cross-traffic trial failed")
+	}
+}
+
+func TestMetricVariants(t *testing.T) {
+	for _, m := range []qoe.Metric{qoe.SSIM, qoe.VMAF, qoe.PSNR} {
+		cfg := smallCfg(SysVoxel)
+		cfg.Metric = m
+		cfg.Trials = 1
+		cfg.Segments = 4
+		agg := Run(cfg)
+		if !agg.Trials[0].Completed {
+			t.Fatalf("%v: failed", m)
+		}
+		if m != qoe.SSIM && agg.MeanScore() <= 1.2 {
+			t.Fatalf("%v: scores look like SSIM: %v", m, agg.MeanScore())
+		}
+	}
+}
+
+func TestManifestCaching(t *testing.T) {
+	a := ManifestFor("ToS", qoe.SSIM, 4)
+	b := ManifestFor("ToS", qoe.SSIM, 4)
+	if a != b {
+		t.Fatal("manifest not cached")
+	}
+	c := ManifestFor("ToS", qoe.VMAF, 4)
+	if a == c {
+		t.Fatal("different metrics must not share manifests")
+	}
+}
+
+func TestRunMatrix(t *testing.T) {
+	base := smallCfg("")
+	base.Trials = 1
+	base.Segments = 4
+	out := RunMatrix(base, []System{SysBolaQ, SysVoxel})
+	if len(out) != 2 || out[SysBolaQ] == nil || out[SysVoxel] == nil {
+		t.Fatal("matrix incomplete")
+	}
+}

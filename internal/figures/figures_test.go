@@ -1,0 +1,138 @@
+package figures
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quick() Params { return Params{Quick: true, Trials: 1, Segments: 5, Seed: 3}.Defaults() }
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("not a percentage: %q", s)
+	}
+	return v
+}
+
+func TestStaticTables(t *testing.T) {
+	for _, g := range []Generator{
+		{"Tab1", "", Table1}, {"Tab2", "", Table2}, {"Tab3", "", Table3},
+	} {
+		tab := g.Run(quick())
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: no rows", g.ID)
+		}
+		if out := tab.String(); !strings.Contains(out, tab.ID) {
+			t.Errorf("%s: String() missing ID", g.ID)
+		}
+	}
+	if len(Table2(quick()).Rows) != 13 {
+		t.Error("Tab2 must list 13 rungs")
+	}
+	if len(Table3(quick()).Rows) != 10 {
+		t.Error("Tab3 must list 10 clips")
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	tab := Fig1(quick())
+	// Q12/0.99 medians should exceed Q9/0.99 medians per title.
+	med := map[string]map[string]float64{}
+	for _, r := range tab.Rows {
+		if med[r[0]] == nil {
+			med[r[0]] = map[string]float64{}
+		}
+		med[r[0]][r[1]] = parsePct(t, r[3])
+	}
+	for title, m := range med {
+		if m["Q9/SSIM0.99"] > m["Q12/SSIM0.99"]+1 {
+			t.Errorf("%s: Q9/0.99 median %.1f should collapse below Q12 %.1f",
+				title, m["Q9/SSIM0.99"], m["Q12/SSIM0.99"])
+		}
+		if m["Q9/SSIM0.95"] < m["Q9/SSIM0.99"] {
+			t.Errorf("%s: relaxing the target must not reduce tolerance", title)
+		}
+	}
+}
+
+func TestFig2bRankedWins(t *testing.T) {
+	tab := Fig2b(quick())
+	for _, r := range tab.Rows {
+		ranked := parsePct(t, r[1])
+		tail := parsePct(t, r[2])
+		if ranked+1 < tail {
+			t.Errorf("%s: ranked median %.1f%% below tail %.1f%%", r[0], ranked, tail)
+		}
+	}
+}
+
+func TestFig19Anchors(t *testing.T) {
+	tab := Fig19(quick())
+	vals := map[string]float64{}
+	for _, r := range tab.Rows {
+		vals[r[0]] = parsePct(t, r[1])
+	}
+	if vals["P9"] <= vals["P10"] {
+		t.Errorf("P9 tolerance %.1f%% must exceed P10 %.1f%%", vals["P9"], vals["P10"])
+	}
+}
+
+func TestFig6EndToEnd(t *testing.T) {
+	tab := Fig6(quick())
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Aggregate relation: VOXEL's total p90 bufRatio across cells should
+	// not exceed BOLA's.
+	var bola, vox float64
+	for _, r := range tab.Rows {
+		bola += parsePct(t, r[3])
+		vox += parsePct(t, r[5])
+	}
+	if vox > bola+2 {
+		t.Errorf("VOXEL total bufRatio %.1f should not exceed BOLA %.1f", vox, bola)
+	}
+}
+
+func TestFig14Survey(t *testing.T) {
+	tab := Fig14(quick())
+	if len(tab.Rows) != 7 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// At ultra-quick scale the preference can be noisy, but fluidity must
+	// favour VOXEL (that is the mechanism the study confirms).
+	for _, r := range tab.Rows {
+		if r[0] == "fluidity MOS" {
+			a, _ := strconv.ParseFloat(r[1], 64)
+			b, _ := strconv.ParseFloat(r[2], 64)
+			if b <= a {
+				t.Errorf("VOXEL fluidity %v should beat BOLA %v", b, a)
+			}
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig6"); !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown ID should fail")
+	}
+	seen := map[string]bool{}
+	for _, g := range All() {
+		if seen[g.ID] {
+			t.Fatalf("duplicate generator %s", g.ID)
+		}
+		seen[g.ID] = true
+		if g.Run == nil {
+			t.Fatalf("%s has no Run", g.ID)
+		}
+	}
+	if len(All()) < 28 {
+		t.Fatalf("only %d generators", len(All()))
+	}
+}

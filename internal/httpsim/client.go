@@ -1,0 +1,325 @@
+package httpsim
+
+import (
+	"strconv"
+	"strings"
+
+	"voxel/internal/quic"
+)
+
+// Response is a client-side in-flight response. Body delivery is
+// event-driven; offsets are positions in the concatenated range payload
+// (use Ranges.ObjectOffset to map back).
+type Response struct {
+	Ranges     RangeSpec
+	Status     int
+	Headers    map[string]string
+	BodyLen    int64
+	Unreliable bool
+
+	// OnBody fires per arriving chunk (possibly out of order on unreliable
+	// responses).
+	OnBody func(bodyOff int64, data []byte)
+	// OnLost fires when the transport gives up on a body range.
+	OnLost func(bodyOff, length int64)
+	// OnHead fires once the response head is parsed.
+	OnHead func()
+	// OnComplete fires when every body byte is received or reported lost.
+	OnComplete func()
+
+	received quic.RangeSet
+	lost     quic.RangeSet
+	headDone bool
+	complete bool
+	finSeen  bool
+	reqStr   *quic.Stream
+	client   *Client
+	headBuf  []byte
+	headCov  quic.RangeSet // stream-offset coverage during the head phase
+	bodyBase uint64        // stream offset where the body starts (reliable path)
+}
+
+// Received exposes the received body coverage.
+func (r *Response) Received() *quic.RangeSet { return &r.received }
+
+// Lost exposes the permanently lost body ranges.
+func (r *Response) Lost() *quic.RangeSet { return &r.lost }
+
+// Complete reports whether the response fully resolved.
+func (r *Response) Complete() bool { return r.complete }
+
+// BytesReceived returns the number of body bytes that arrived.
+func (r *Response) BytesReceived() int64 { return int64(r.received.CoveredBytes()) }
+
+// Cancel detaches the response: subsequent data is ignored. The transport
+// keeps draining whatever the server already queued; the player accounts
+// for abandoned downloads itself.
+func (r *Response) Cancel() {
+	r.OnBody = nil
+	r.OnLost = nil
+	r.OnComplete = nil
+}
+
+// Client issues GET requests over a QUIC* connection.
+type Client struct {
+	conn *quic.Conn
+	// pendingByStream maps announced unreliable stream IDs to responses.
+	pendingByStream map[uint64]*Response
+	// earlyStreams buffers unreliable streams that arrived before their
+	// announcing response head.
+	earlyStreams map[uint64]*earlyStream
+}
+
+type earlyStream struct {
+	st     *quic.Stream
+	chunks []earlyChunk
+	losses [][2]uint64
+	fin    bool
+	final  uint64
+}
+
+type earlyChunk struct {
+	off  uint64
+	data []byte
+}
+
+// NewClient wires a Client to the connection. It takes over the
+// connection's OnStream callback for server-initiated (unreliable body)
+// streams.
+func NewClient(conn *quic.Conn) *Client {
+	c := &Client{
+		conn:            conn,
+		pendingByStream: make(map[uint64]*Response),
+		earlyStreams:    make(map[uint64]*earlyStream),
+	}
+	conn.OnStream(c.onServerStream)
+	return c
+}
+
+// Get issues a GET for path. ranges may be nil (whole object); unreliable
+// asks the server for unreliable body delivery; extra headers are optional.
+// Callbacks should be set on the returned Response immediately (before the
+// simulator runs again).
+func (c *Client) Get(path string, ranges RangeSpec, unreliable bool, extra map[string]string) *Response {
+	headers := make(map[string]string, len(extra)+2)
+	for k, v := range extra {
+		headers[strings.ToLower(k)] = v
+	}
+	if len(ranges) > 0 {
+		headers["range"] = formatRangeHeader(ranges)
+	}
+	if unreliable {
+		headers[HeaderUnreliable] = "1"
+	}
+	st := c.conn.OpenStream(false)
+	resp := &Response{Ranges: ranges, client: c, reqStr: st}
+	st.OnData(func(off uint64, data []byte) { resp.onReliableData(off, data) })
+	st.OnFin(func(sz uint64) { resp.onReliableFin(sz) })
+	st.Write(encodeHead("GET "+path+" HTTP/1.1", headers))
+	st.CloseWrite()
+	return resp
+}
+
+// onReliableData handles bytes on the request's reliable stream: first the
+// response head, then (for reliable responses) the body.
+func (r *Response) onReliableData(off uint64, data []byte) {
+	if !r.headDone {
+		// Stream frames can arrive out of order; buffer with coverage
+		// tracking until the head terminator sits in the contiguous prefix.
+		need := off + uint64(len(data))
+		if uint64(len(r.headBuf)) < need {
+			nb := make([]byte, need)
+			copy(nb, r.headBuf)
+			r.headBuf = nb
+		}
+		copy(r.headBuf[off:], data)
+		r.headCov.Add(off, need)
+		contig := r.headCov.ContiguousFrom(0)
+		end := headEnd(r.headBuf[:contig])
+		if end < 0 {
+			return
+		}
+		r.parseHead(r.headBuf[:end])
+		r.bodyBase = uint64(end)
+		// Deliver any body bytes that were buffered during the head phase,
+		// respecting coverage (gaps stay gaps).
+		for _, cr := range r.headCov.Ranges() {
+			if cr.End <= r.bodyBase {
+				continue
+			}
+			start := cr.Start
+			if start < r.bodyBase {
+				start = r.bodyBase
+			}
+			r.deliverBody(int64(start-r.bodyBase), r.headBuf[start:cr.End])
+		}
+		r.headBuf = nil
+		return
+	}
+	if r.Unreliable {
+		return // body travels on the unreliable stream
+	}
+	if off+uint64(len(data)) <= r.bodyBase {
+		return
+	}
+	if off < r.bodyBase {
+		data = data[r.bodyBase-off:]
+		off = r.bodyBase
+	}
+	r.deliverBody(int64(off-r.bodyBase), data)
+}
+
+func (r *Response) parseHead(head []byte) {
+	first, headers, err := parseHead(head)
+	if err != nil {
+		r.Status = 400
+		r.headDone = true
+		return
+	}
+	r.Headers = headers
+	r.headDone = true
+	parts := strings.SplitN(first, " ", 3)
+	if len(parts) >= 2 {
+		r.Status, _ = strconv.Atoi(parts[1])
+	}
+	if cl, ok := headers["content-length"]; ok {
+		r.BodyLen, _ = strconv.ParseInt(cl, 10, 64)
+	}
+	if sid, ok := headers[HeaderStream]; ok {
+		r.Unreliable = true
+		id, _ := strconv.ParseUint(sid, 10, 64)
+		r.client.adopt(id, r)
+	}
+	if r.OnHead != nil {
+		r.OnHead()
+	}
+	if r.BodyLen == 0 && !r.Unreliable {
+		r.maybeComplete(true)
+	}
+}
+
+func (r *Response) deliverBody(bodyOff int64, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	start := uint64(bodyOff)
+	end := start + uint64(len(data))
+	gaps := r.received.Gaps(start, end)
+	r.received.Add(start, end)
+	if r.OnBody != nil {
+		for _, g := range gaps {
+			r.OnBody(int64(g.Start), data[g.Start-start:g.End-start])
+		}
+	}
+	r.maybeComplete(r.finSeen)
+}
+
+func (r *Response) deliverLoss(bodyOff, length int64) {
+	start, end := uint64(bodyOff), uint64(bodyOff+length)
+	for _, g := range r.received.Gaps(start, end) {
+		r.lost.Add(g.Start, g.End)
+		if r.OnLost != nil {
+			r.OnLost(int64(g.Start), int64(g.End-g.Start))
+		}
+	}
+	r.maybeComplete(r.finSeen)
+}
+
+func (r *Response) onReliableFin(size uint64) {
+	if !r.Unreliable && r.headDone {
+		r.finSeen = true
+		r.maybeComplete(true)
+	}
+}
+
+func (r *Response) onUnreliableFin(final uint64) {
+	r.finSeen = true
+	if r.BodyLen == 0 {
+		r.BodyLen = int64(final)
+	}
+	r.maybeComplete(true)
+}
+
+// maybeComplete fires OnComplete once the body is fully accounted for.
+func (r *Response) maybeComplete(finKnown bool) {
+	if r.complete || !r.headDone || !finKnown {
+		return
+	}
+	if r.BodyLen > 0 {
+		var union quic.RangeSet
+		for _, rr := range r.received.Ranges() {
+			union.Add(rr.Start, rr.End)
+		}
+		for _, rr := range r.lost.Ranges() {
+			union.Add(rr.Start, rr.End)
+		}
+		if !union.Contains(0, uint64(r.BodyLen)) {
+			return
+		}
+	}
+	r.complete = true
+	if r.OnComplete != nil {
+		r.OnComplete()
+	}
+}
+
+// adopt binds an announced unreliable stream ID to a response, flushing any
+// data that arrived early.
+func (c *Client) adopt(streamID uint64, r *Response) {
+	c.pendingByStream[streamID] = r
+	if early, ok := c.earlyStreams[streamID]; ok {
+		delete(c.earlyStreams, streamID)
+		c.bind(early.st, r)
+		for _, ch := range early.chunks {
+			r.deliverBody(int64(ch.off), ch.data)
+		}
+		for _, l := range early.losses {
+			r.deliverLoss(int64(l[0]), int64(l[1]))
+		}
+		if early.fin {
+			r.onUnreliableFin(early.final)
+		}
+	}
+}
+
+// onServerStream handles server-initiated streams (unreliable bodies).
+func (c *Client) onServerStream(st *quic.Stream) {
+	if r, ok := c.pendingByStream[st.ID()]; ok {
+		c.bind(st, r)
+		return
+	}
+	// Head not seen yet: buffer.
+	early := &earlyStream{st: st}
+	c.earlyStreams[st.ID()] = early
+	st.OnData(func(off uint64, data []byte) {
+		if r, ok := c.pendingByStream[st.ID()]; ok {
+			r.deliverBody(int64(off), data)
+			return
+		}
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		early.chunks = append(early.chunks, earlyChunk{off: off, data: cp})
+	})
+	st.OnLost(func(off, n uint64) {
+		if r, ok := c.pendingByStream[st.ID()]; ok {
+			r.deliverLoss(int64(off), int64(n))
+			return
+		}
+		early.losses = append(early.losses, [2]uint64{off, n})
+	})
+	st.OnFin(func(final uint64) {
+		if r, ok := c.pendingByStream[st.ID()]; ok {
+			r.onUnreliableFin(final)
+			return
+		}
+		early.fin = true
+		early.final = final
+	})
+}
+
+// bind attaches response delivery to an adopted unreliable stream.
+func (c *Client) bind(st *quic.Stream, r *Response) {
+	st.OnData(func(off uint64, data []byte) { r.deliverBody(int64(off), data) })
+	st.OnLost(func(off, n uint64) { r.deliverLoss(int64(off), int64(n)) })
+	st.OnFin(func(final uint64) { r.onUnreliableFin(final) })
+}

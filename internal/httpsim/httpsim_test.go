@@ -1,0 +1,253 @@
+package httpsim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"voxel/internal/netem"
+	"voxel/internal/quic"
+	"voxel/internal/sim"
+	"voxel/internal/trace"
+)
+
+type fixture struct {
+	s      *sim.Sim
+	client *Client
+	server *Server
+}
+
+func newFixture(t *testing.T, mbps float64, queuePkts int, objects map[string]Object, opts ServerOptions) *fixture {
+	t.Helper()
+	s := sim.New(77)
+	tr := trace.Constant("t", mbps*1e6, 3600)
+	path := netem.NewPath(s, tr, queuePkts)
+	cc, sc := quic.NewPair(s, path, quic.Config{}, quic.Config{})
+	handler := HandlerFunc(func(path string) (Object, error) {
+		if o, ok := objects[path]; ok {
+			return o, nil
+		}
+		return nil, errNotFound{}
+	})
+	return &fixture{
+		s:      s,
+		client: NewClient(cc),
+		server: NewServer(sc, handler, opts),
+	}
+}
+
+type errNotFound struct{}
+
+func (errNotFound) Error() string { return "not found" }
+
+func content(n int) BytesObject {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*7 + 3)
+	}
+	return BytesObject(b)
+}
+
+func TestSimpleGet(t *testing.T) {
+	obj := content(100 << 10)
+	fx := newFixture(t, 10, 32, map[string]Object{"/a": obj}, ServerOptions{})
+	resp := fx.client.Get("/a", nil, false, nil)
+	got := make([]byte, len(obj))
+	var done bool
+	resp.OnBody = func(off int64, data []byte) { copy(got[off:], data) }
+	resp.OnComplete = func() { done = true }
+	fx.s.RunUntil(30 * time.Second)
+	if !done {
+		t.Fatal("request did not complete")
+	}
+	if resp.Status != 200 {
+		t.Fatalf("status %d", resp.Status)
+	}
+	if resp.BodyLen != int64(len(obj)) {
+		t.Fatalf("content-length %d, want %d", resp.BodyLen, len(obj))
+	}
+	if !bytes.Equal(got, obj) {
+		t.Fatal("body corrupted")
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	fx := newFixture(t, 10, 32, nil, ServerOptions{})
+	resp := fx.client.Get("/missing", nil, false, nil)
+	done := false
+	resp.OnComplete = func() { done = true }
+	fx.s.RunUntil(5 * time.Second)
+	if !done || resp.Status != 404 {
+		t.Fatalf("done=%v status=%d, want 404", done, resp.Status)
+	}
+}
+
+func TestRangeRequest(t *testing.T) {
+	obj := content(10000)
+	fx := newFixture(t, 10, 32, map[string]Object{"/a": obj}, ServerOptions{})
+	ranges := RangeSpec{{100, 200}, {5000, 5050}, {0, 10}}
+	resp := fx.client.Get("/a", ranges, false, nil)
+	got := make([]byte, ranges.TotalBytes())
+	done := false
+	resp.OnBody = func(off int64, data []byte) { copy(got[off:], data) }
+	resp.OnComplete = func() { done = true }
+	fx.s.RunUntil(5 * time.Second)
+	if !done || resp.Status != 206 {
+		t.Fatalf("done=%v status=%d, want 206", done, resp.Status)
+	}
+	want := append(append(append([]byte{}, obj[100:200]...), obj[5000:5050]...), obj[0:10]...)
+	if !bytes.Equal(got, want) {
+		t.Fatal("range body wrong")
+	}
+}
+
+func TestRangeOutOfBounds(t *testing.T) {
+	fx := newFixture(t, 10, 32, map[string]Object{"/a": content(100)}, ServerOptions{})
+	resp := fx.client.Get("/a", RangeSpec{{50, 200}}, false, nil)
+	done := false
+	resp.OnComplete = func() { done = true }
+	fx.s.RunUntil(5 * time.Second)
+	if !done || resp.Status != 416 {
+		t.Fatalf("status %d, want 416", resp.Status)
+	}
+}
+
+func TestUnreliableDelivery(t *testing.T) {
+	obj := content(512 << 10)
+	fx := newFixture(t, 10, 32, map[string]Object{"/a": obj}, ServerOptions{})
+	resp := fx.client.Get("/a", nil, true, nil)
+	got := make([]byte, len(obj))
+	done := false
+	resp.OnBody = func(off int64, data []byte) { copy(got[off:], data) }
+	resp.OnComplete = func() { done = true }
+	fx.s.RunUntil(30 * time.Second)
+	if !done {
+		t.Fatal("unreliable request did not complete")
+	}
+	if !resp.Unreliable {
+		t.Fatal("response should be marked unreliable")
+	}
+	if _, ok := resp.Headers[HeaderStream]; !ok {
+		t.Fatal("x-voxel-stream header missing")
+	}
+	if fx.server.UnreliableBodies != 1 {
+		t.Fatal("server should count one unreliable body")
+	}
+	// Slow-start overshoot on a 32-packet queue loses some packets (that
+	// is the point of the partially reliable design) — but most of the
+	// body must arrive, and what arrived must be byte-correct.
+	lost := int64(resp.Lost().CoveredBytes())
+	if lost > int64(len(obj))/3 {
+		t.Fatalf("lost %d of %d bytes — too much for this path", lost, len(obj))
+	}
+	for _, r := range resp.Received().Ranges() {
+		if !bytes.Equal(got[r.Start:r.End], obj[r.Start:r.End]) {
+			t.Fatalf("received range %v corrupted", r)
+		}
+	}
+}
+
+func TestUnreliableWithLossCompletesWithHoles(t *testing.T) {
+	obj := content(1 << 20)
+	fx := newFixture(t, 4, 8, map[string]Object{"/a": obj}, ServerOptions{})
+	resp := fx.client.Get("/a", nil, true, nil)
+	done := false
+	var lostBytes int64
+	resp.OnLost = func(off, n int64) { lostBytes += n }
+	resp.OnComplete = func() { done = true }
+	fx.s.RunUntil(120 * time.Second)
+	if !done {
+		t.Fatal("lossy unreliable request did not complete")
+	}
+	if lostBytes == 0 {
+		t.Fatal("expected reported losses on a tight queue")
+	}
+	if resp.BytesReceived()+int64(resp.Lost().CoveredBytes()) < int64(len(obj)) {
+		t.Fatal("received + lost must cover the object")
+	}
+}
+
+func TestVoxelUnawareServerIgnoresHeader(t *testing.T) {
+	obj := content(64 << 10)
+	fx := newFixture(t, 10, 32, map[string]Object{"/a": obj}, ServerOptions{VoxelUnaware: true})
+	resp := fx.client.Get("/a", nil, true, nil)
+	done := false
+	got := make([]byte, len(obj))
+	resp.OnBody = func(off int64, data []byte) { copy(got[off:], data) }
+	resp.OnComplete = func() { done = true }
+	fx.s.RunUntil(10 * time.Second)
+	if !done {
+		t.Fatal("request did not complete")
+	}
+	if resp.Unreliable {
+		t.Fatal("VOXEL-unaware server must answer reliably")
+	}
+	if !bytes.Equal(got, obj) {
+		t.Fatal("body corrupted")
+	}
+}
+
+func TestSequentialRequests(t *testing.T) {
+	objs := map[string]Object{"/1": content(50 << 10), "/2": content(80 << 10)}
+	fx := newFixture(t, 10, 32, objs, ServerOptions{})
+	doneCount := 0
+	issue := func(path string, n int) {
+		resp := fx.client.Get(path, nil, false, nil)
+		resp.OnComplete = func() {
+			if resp.BytesReceived() != int64(n) {
+				t.Errorf("%s: received %d, want %d", path, resp.BytesReceived(), n)
+			}
+			doneCount++
+		}
+	}
+	issue("/1", 50<<10)
+	issue("/2", 80<<10)
+	fx.s.RunUntil(30 * time.Second)
+	if doneCount != 2 {
+		t.Fatalf("%d requests completed, want 2", doneCount)
+	}
+	if fx.server.RequestsServed != 2 {
+		t.Fatalf("server served %d", fx.server.RequestsServed)
+	}
+}
+
+func TestZeroObject(t *testing.T) {
+	fx := newFixture(t, 10, 32, map[string]Object{"/z": ZeroObject(256 << 10)}, ServerOptions{})
+	resp := fx.client.Get("/z", nil, false, nil)
+	done := false
+	resp.OnComplete = func() { done = true }
+	fx.s.RunUntil(30 * time.Second)
+	if !done || resp.BytesReceived() != 256<<10 {
+		t.Fatalf("zero object: done=%v received=%d", done, resp.BytesReceived())
+	}
+}
+
+func TestRangeSpecHelpers(t *testing.T) {
+	r := RangeSpec{{100, 200}, {500, 600}}
+	if r.TotalBytes() != 200 {
+		t.Fatalf("total %d", r.TotalBytes())
+	}
+	cases := []struct{ body, obj int64 }{{0, 100}, {99, 199}, {100, 500}, {199, 599}, {200, -1}}
+	for _, c := range cases {
+		if got := r.ObjectOffset(c.body); got != c.obj {
+			t.Errorf("ObjectOffset(%d) = %d, want %d", c.body, got, c.obj)
+		}
+	}
+}
+
+func TestRangeHeaderRoundTrip(t *testing.T) {
+	r := RangeSpec{{0, 907}, {2000, 2001}}
+	parsed, err := parseRangeHeader(formatRangeHeader(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 2 || parsed[0] != r[0] || parsed[1] != r[1] {
+		t.Fatalf("roundtrip: %v", parsed)
+	}
+	if _, err := parseRangeHeader("bytes=9-3"); err == nil {
+		t.Fatal("inverted range should fail")
+	}
+	if _, err := parseRangeHeader("bytes=x-3"); err == nil {
+		t.Fatal("garbage should fail")
+	}
+}

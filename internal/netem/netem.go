@@ -1,0 +1,182 @@
+// Package netem emulates the paper's three-machine testbed topology in the
+// discrete-event simulator: a server and a client connected through a
+// router whose egress is the bottleneck. The router shapes traffic to a
+// bandwidth trace (as the testbed does with tc), applies a drop-tail queue
+// of a configurable packet capacity (32 packets for the trace experiments,
+// 750 for the long-queue appendix, 1.25×BDP for fixed-rate runs), and adds
+// a 30 ms "last mile" propagation delay toward the client.
+package netem
+
+import (
+	"time"
+
+	"voxel/internal/sim"
+	"voxel/internal/trace"
+)
+
+// Datagram is one packet on the wire. Size is the on-wire size in bytes and
+// governs serialization time and queue occupancy. Deliver runs at the
+// receiver when (and if) the packet arrives; dropped packets are silently
+// discarded, as on a real drop-tail queue.
+type Datagram struct {
+	Size    int
+	Deliver func()
+}
+
+// LinkStats counts what happened on a link.
+type LinkStats struct {
+	Sent       uint64 // datagrams offered to the link
+	Dropped    uint64 // datagrams dropped at the queue
+	Delivered  uint64 // datagrams handed to receivers
+	BytesSent  uint64 // bytes serialized onto the wire
+	MaxQueue   int    // high-water mark of the queue, in packets
+	BusyTime   sim.Time
+	QueueDelay sim.Time // cumulative time datagrams spent queued
+}
+
+// Link is a unidirectional link: a drop-tail queue drained at a
+// (possibly time-varying) rate, followed by a fixed propagation delay.
+type Link struct {
+	sim      *sim.Sim
+	rate     func(sim.Time) float64 // bits per second
+	delay    sim.Time
+	capacity int // max datagrams queued or in service
+
+	queue     []queued
+	busyUntil sim.Time
+	serving   bool
+	stats     LinkStats
+}
+
+type queued struct {
+	d        Datagram
+	enqueued sim.Time
+}
+
+// NewLink builds a link draining at rate(t) bps with the given one-way
+// propagation delay and drop-tail queue capacity in packets.
+func NewLink(s *sim.Sim, rate func(sim.Time) float64, delay sim.Time, queuePackets int) *Link {
+	if queuePackets < 1 {
+		queuePackets = 1
+	}
+	return &Link{sim: s, rate: rate, delay: delay, capacity: queuePackets}
+}
+
+// NewTraceLink builds a link whose rate follows tr.
+func NewTraceLink(s *sim.Sim, tr *trace.Trace, delay sim.Time, queuePackets int) *Link {
+	return NewLink(s, tr.RateAt, delay, queuePackets)
+}
+
+// NewFixedLink builds a link with a constant rate in bps.
+func NewFixedLink(s *sim.Sim, bps float64, delay sim.Time, queuePackets int) *Link {
+	return NewLink(s, func(sim.Time) float64 { return bps }, delay, queuePackets)
+}
+
+// Stats returns a snapshot of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// QueueLen returns the number of datagrams queued or in service.
+func (l *Link) QueueLen() int {
+	n := len(l.queue)
+	if l.serving {
+		n++
+	}
+	return n
+}
+
+// Send offers a datagram to the link. It returns false (and drops the
+// datagram) when the drop-tail queue is full.
+func (l *Link) Send(d Datagram) bool {
+	l.stats.Sent++
+	if l.QueueLen() >= l.capacity {
+		l.stats.Dropped++
+		return false
+	}
+	l.queue = append(l.queue, queued{d: d, enqueued: l.sim.Now()})
+	if n := l.QueueLen(); n > l.stats.MaxQueue {
+		l.stats.MaxQueue = n
+	}
+	if !l.serving {
+		l.serveNext()
+	}
+	return true
+}
+
+func (l *Link) serveNext() {
+	if len(l.queue) == 0 {
+		l.serving = false
+		return
+	}
+	q := l.queue[0]
+	l.queue = l.queue[1:]
+	l.serving = true
+	l.stats.QueueDelay += l.sim.Now() - q.enqueued
+
+	rate := l.rate(l.sim.Now())
+	if rate < 1 {
+		rate = 1
+	}
+	serialization := sim.Time(float64(q.d.Size*8) / rate * float64(time.Second))
+	if serialization < time.Nanosecond {
+		serialization = time.Nanosecond
+	}
+	l.stats.BusyTime += serialization
+	l.stats.BytesSent += uint64(q.d.Size)
+	l.busyUntil = l.sim.Now() + serialization
+
+	deliver := q.d.Deliver
+	l.sim.Schedule(serialization, func() {
+		l.stats.Delivered++
+		if deliver != nil {
+			l.sim.Schedule(l.delay, deliver)
+		}
+		l.serveNext()
+	})
+}
+
+// Path is the duplex server↔client path through the router. Down carries
+// server→client traffic (the shaped bottleneck); Up carries client→server
+// traffic (requests and ACKs) and is provisioned generously, as in the
+// testbed where only the router egress is shaped.
+type Path struct {
+	Down *Link
+	Up   *Link
+}
+
+// DefaultLastMileDelay is the one-way router-to-client delay from §5.
+const DefaultLastMileDelay = 30 * time.Millisecond
+
+// DefaultQueuePackets is the router queue used for the trace experiments.
+const DefaultQueuePackets = 32
+
+// LongQueuePackets is the 750-packet queue from Appendix B.
+const LongQueuePackets = 750
+
+// uplinkRate provisions the reverse path so ACK/request traffic never
+// bottlenecks.
+const uplinkRate = 100e6
+
+// NewPath builds the standard experiment topology: a trace-shaped downlink
+// with the given queue capacity and a fast uplink, both with the last-mile
+// propagation delay (RTT ≈ 60 ms plus queueing).
+func NewPath(s *sim.Sim, tr *trace.Trace, queuePackets int) *Path {
+	return &Path{
+		Down: NewTraceLink(s, tr, DefaultLastMileDelay, queuePackets),
+		Up:   NewFixedLink(s, uplinkRate, DefaultLastMileDelay, 1024),
+	}
+}
+
+// NewFixedPath builds a topology with a constant-rate downlink, with queue
+// capacity 1.25×BDP (in packets of mtu bytes) as §5 specifies for
+// fixed-bandwidth runs.
+func NewFixedPath(s *sim.Sim, bps float64, mtu int) *Path {
+	bdpBytes := bps / 8 * (2 * DefaultLastMileDelay.Seconds())
+	pkts := int(1.25 * bdpBytes / float64(mtu))
+	if pkts < 4 {
+		pkts = 4
+	}
+	return &Path{
+		Down: NewFixedLink(s, bps, DefaultLastMileDelay, pkts),
+		Up:   NewFixedLink(s, uplinkRate, DefaultLastMileDelay, 1024),
+	}
+}

@@ -1,0 +1,195 @@
+package netem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"voxel/internal/sim"
+	"voxel/internal/trace"
+)
+
+func TestSerializationAndDelay(t *testing.T) {
+	s := sim.New(1)
+	l := NewFixedLink(s, 8e6, 30*time.Millisecond, 10) // 1 MB/s
+	var arrived sim.Time
+	l.Send(Datagram{Size: 1000, Deliver: func() { arrived = s.Now() }})
+	s.Run()
+	// 1000 B at 1 MB/s = 1 ms serialization + 30 ms delay.
+	want := time.Millisecond + 30*time.Millisecond
+	if arrived != want {
+		t.Fatalf("arrived at %v, want %v", arrived, want)
+	}
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	s := sim.New(1)
+	l := NewFixedLink(s, 8e6, 0, 100)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		l.Send(Datagram{Size: 100, Deliver: func() { order = append(order, i) }})
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("out of order delivery: %v", order)
+		}
+	}
+}
+
+func TestDropTail(t *testing.T) {
+	s := sim.New(1)
+	l := NewFixedLink(s, 8e3, 0, 4) // very slow: 1 kB/s
+	delivered := 0
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if l.Send(Datagram{Size: 1000, Deliver: func() { delivered++ }}) {
+			accepted++
+		}
+	}
+	if accepted != 4 {
+		t.Fatalf("accepted %d, want 4 (queue capacity)", accepted)
+	}
+	s.Run()
+	if delivered != 4 {
+		t.Fatalf("delivered %d, want 4", delivered)
+	}
+	st := l.Stats()
+	if st.Dropped != 6 || st.Sent != 10 || st.Delivered != 4 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+}
+
+func TestQueueDrainsThenAcceptsMore(t *testing.T) {
+	s := sim.New(1)
+	l := NewFixedLink(s, 8e6, 0, 2)
+	delivered := 0
+	l.Send(Datagram{Size: 1000, Deliver: func() { delivered++ }})
+	l.Send(Datagram{Size: 1000, Deliver: func() { delivered++ }})
+	if l.Send(Datagram{Size: 1000, Deliver: func() { delivered++ }}) {
+		t.Fatal("third packet should be dropped")
+	}
+	// After the first drains, there is room again.
+	s.Schedule(5*time.Millisecond, func() {
+		if !l.Send(Datagram{Size: 1000, Deliver: func() { delivered++ }}) {
+			t.Error("packet after drain should be accepted")
+		}
+	})
+	s.Run()
+	if delivered != 3 {
+		t.Fatalf("delivered %d, want 3", delivered)
+	}
+}
+
+func TestTraceLinkFollowsRate(t *testing.T) {
+	s := sim.New(1)
+	// 8 Mbps for 1 s, then 0.8 Mbps.
+	tr := trace.New("step", []float64{8e6, 0.8e6, 0.8e6, 0.8e6})
+	l := NewTraceLink(s, tr, 0, 1000)
+	var times []sim.Time
+	// Packet served at t=0 (fast), then one served at t≈1.2s (slow).
+	l.Send(Datagram{Size: 125000, Deliver: func() { times = append(times, s.Now()) }}) // 1 Mbit → 125 ms at 8 Mbps
+	s.Schedule(1100*time.Millisecond, func() {
+		l.Send(Datagram{Size: 125000, Deliver: func() { times = append(times, s.Now()) }}) // 1 Mbit → 1.25 s at 0.8 Mbps
+	})
+	s.Run()
+	if len(times) != 2 {
+		t.Fatalf("got %d deliveries", len(times))
+	}
+	if times[0] != 125*time.Millisecond {
+		t.Fatalf("fast delivery at %v, want 125ms", times[0])
+	}
+	want := 1100*time.Millisecond + 1250*time.Millisecond
+	if times[1] != want {
+		t.Fatalf("slow delivery at %v, want %v", times[1], want)
+	}
+}
+
+func TestThroughputMatchesLinkRate(t *testing.T) {
+	s := sim.New(1)
+	const rate = 10e6
+	l := NewFixedLink(s, rate, 10*time.Millisecond, 64)
+	const pktSize = 1200
+	var deliveredBytes int
+	// Saturate the link for 10 simulated seconds with a self-clocked sender.
+	var send func()
+	send = func() {
+		if s.Now() > 10*time.Second {
+			return
+		}
+		for l.QueueLen() < 32 {
+			l.Send(Datagram{Size: pktSize, Deliver: func() { deliveredBytes += pktSize }})
+		}
+		s.Schedule(time.Millisecond, send)
+	}
+	s.Schedule(0, send)
+	s.Run()
+	got := float64(deliveredBytes) * 8 / 10 // bps over 10 s (approximately)
+	if math.Abs(got-rate)/rate > 0.05 {
+		t.Fatalf("achieved %v bps, want ≈%v", got, rate)
+	}
+}
+
+func TestNilDeliverIsSafe(t *testing.T) {
+	s := sim.New(1)
+	l := NewFixedLink(s, 1e6, 0, 4)
+	l.Send(Datagram{Size: 100})
+	s.Run()
+	if l.Stats().Delivered != 1 {
+		t.Fatal("datagram with nil Deliver should still count as delivered")
+	}
+}
+
+func TestNewFixedPathBDPQueue(t *testing.T) {
+	s := sim.New(1)
+	p := NewFixedPath(s, 20e6, 1500)
+	// BDP = 20e6/8 * 0.06 = 150000 B → 1.25×/1500 = 125 packets.
+	if p.Down.capacity != 125 {
+		t.Fatalf("queue capacity = %d, want 125", p.Down.capacity)
+	}
+}
+
+func TestPathDirections(t *testing.T) {
+	s := sim.New(1)
+	tr := trace.Constant("c", 10e6, 10)
+	p := NewPath(s, tr, DefaultQueuePackets)
+	gotDown, gotUp := false, false
+	p.Down.Send(Datagram{Size: 100, Deliver: func() { gotDown = true }})
+	p.Up.Send(Datagram{Size: 100, Deliver: func() { gotUp = true }})
+	s.Run()
+	if !gotDown || !gotUp {
+		t.Fatalf("down=%v up=%v", gotDown, gotUp)
+	}
+}
+
+// Property: conservation — every offered packet is either delivered or
+// dropped, never both, never lost silently.
+func TestPropertyConservation(t *testing.T) {
+	f := func(sizes []uint16, capRaw uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 100 {
+			sizes = sizes[:100]
+		}
+		s := sim.New(9)
+		capacity := int(capRaw%32) + 1
+		l := NewFixedLink(s, 1e6, time.Millisecond, capacity)
+		delivered := 0
+		for _, sz := range sizes {
+			l.Send(Datagram{Size: int(sz%1400) + 1, Deliver: func() { delivered++ }})
+		}
+		s.Run()
+		st := l.Stats()
+		return st.Sent == uint64(len(sizes)) &&
+			st.Delivered+st.Dropped == st.Sent &&
+			delivered == int(st.Delivered) &&
+			st.MaxQueue <= capacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(21))}); err != nil {
+		t.Fatal(err)
+	}
+}

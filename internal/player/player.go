@@ -1,0 +1,880 @@
+// Package player implements the video client: the DASH playback loop, the
+// playback buffer and stall accounting, the two-phase VOXEL fetch (reliable
+// I-frame + headers, unreliable frame bodies), segment abandonment, and
+// the opportunistic selective retransmission of §4.2.
+//
+// The player supports four transport/ABR integration modes mirroring the
+// paper's incremental deployment story (§5):
+//
+//	ModeReliable      — everything over reliable streams ("Q" in Figs. 3–4)
+//	ModeOpaque        — vanilla ABR over QUIC*: I-frame + headers reliable,
+//	                    bodies unreliable, ABR unaware ("Q*" in Figs. 3–4)
+//	ModeVoxel         — the full system: ABR*'s partial-segment targets over
+//	                    QUIC* with selective retransmission (§5.2)
+//	ModeVoxelReliable — ABR* decisions but fully reliable transfers
+//	                    ("VOXEL rel", Fig. 18c–d)
+package player
+
+import (
+	"time"
+
+	"voxel/internal/abr"
+	"voxel/internal/dash"
+	"voxel/internal/httpsim"
+	"voxel/internal/prep"
+	"voxel/internal/qoe"
+	"voxel/internal/quic"
+	"voxel/internal/server"
+	"voxel/internal/sim"
+	"voxel/internal/video"
+)
+
+// Mode selects the transport/ABR integration.
+type Mode int
+
+// The four integration modes (see the package comment).
+const (
+	ModeReliable Mode = iota
+	ModeOpaque
+	ModeVoxel
+	ModeVoxelReliable
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeReliable:
+		return "Q"
+	case ModeOpaque:
+		return "Q*"
+	case ModeVoxel:
+		return "VOXEL"
+	default:
+		return "VOXEL-rel"
+	}
+}
+
+// Config parameterizes a player run.
+type Config struct {
+	Algorithm abr.Algorithm
+	Mode      Mode
+	// BufferSegments is the playback buffer capacity in segments (the
+	// paper sweeps 1–7).
+	BufferSegments int
+	// Metric scores delivered segments (default SSIM).
+	Metric qoe.Metric
+	// Model is the QoE model used for scoring (default qoe.DefaultModel).
+	Model qoe.Model
+	// BetaCandidates adds BETA's single unreferenced-B virtual level per
+	// quality instead of VOXEL's manifest points.
+	BetaCandidates bool
+	// DisableSelectiveRetx turns off §4.2's buffer-full loss recovery.
+	DisableSelectiveRetx bool
+	// MaxVirtualCandidates caps per-quality virtual levels fed to the ABR.
+	MaxVirtualCandidates int
+	// Live enables live-edge semantics: segment i only becomes available
+	// once it has been produced (i+1 segment durations after the session
+	// start), the natural regime for the paper's low-latency motivation.
+	Live bool
+}
+
+// SegmentResult records one delivered segment.
+type SegmentResult struct {
+	Index      int
+	Quality    video.Quality
+	Virtual    bool
+	TargetByte int
+	GotBytes   int
+	LostBytes  int
+	Score      float64
+	Restarts   int
+	// WastedBytes counts data discarded by restarts.
+	WastedBytes int
+}
+
+// Results summarizes a playback session.
+type Results struct {
+	Segments       []SegmentResult
+	StallTime      time.Duration
+	StartupDelay   time.Duration
+	PlayDuration   time.Duration
+	BytesReceived  int64
+	BytesWasted    int64
+	SkippedBytes   int64 // bytes of chosen-quality segments never delivered
+	ChosenBytes    int64 // full-size bytes of chosen qualities
+	TargetBytes    int64 // bytes the plans intended to deliver
+	LostInTransit  int64 // transport-reported losses (pre-recovery)
+	RecoveredBytes int64 // via selective retransmission
+	Switches       int
+}
+
+// BufRatio is total stall time over media duration (§5.1).
+func (r *Results) BufRatio() float64 {
+	if r.PlayDuration == 0 {
+		return 0
+	}
+	return r.StallTime.Seconds() / r.PlayDuration.Seconds()
+}
+
+// AvgBitrate is the mean delivered segment bitrate in bps.
+func (r *Results) AvgBitrate() float64 {
+	if len(r.Segments) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range r.Segments {
+		sum += float64(s.GotBytes*8) / video.SegmentDuration.Seconds()
+	}
+	return sum / float64(len(r.Segments))
+}
+
+// Scores returns the per-segment QoE scores.
+func (r *Results) Scores() []float64 {
+	out := make([]float64, len(r.Segments))
+	for i, s := range r.Segments {
+		out[i] = s.Score
+	}
+	return out
+}
+
+// MeanScore returns the average segment score.
+func (r *Results) MeanScore() float64 {
+	if len(r.Segments) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range r.Segments {
+		sum += s.Score
+	}
+	return sum / float64(len(r.Segments))
+}
+
+// SkippedFraction is the share of chosen-quality data not delivered
+// (Fig. 7d).
+func (r *Results) SkippedFraction() float64 {
+	if r.ChosenBytes == 0 {
+		return 0
+	}
+	return float64(r.SkippedBytes) / float64(r.ChosenBytes)
+}
+
+// ResidualLossFraction is the share of planned data lost in transit and
+// still unrepaired after selective retransmission (§4.2's 0.9–1.8%
+// figures). Bytes a virtual quality level intentionally skipped — or that
+// an abandonment cut away — are not losses: their effect is already priced
+// into the segment score, and the decoder sees clean truncation, not
+// corruption.
+func (r *Results) ResidualLossFraction() float64 {
+	if r.TargetBytes == 0 {
+		return 0
+	}
+	missing := r.LostInTransit - r.RecoveredBytes
+	if missing < 0 {
+		missing = 0
+	}
+	return float64(missing) / float64(r.TargetBytes)
+}
+
+// Player drives one playback session.
+type Player struct {
+	sim    *sim.Sim
+	client *httpsim.Client
+	cfg    Config
+	video  *video.Video
+	man    *dash.Manifest
+	anal   *prep.Analyzer
+
+	// playback state
+	started      bool
+	startupAt    sim.Time
+	buffer       time.Duration
+	lastSync     sim.Time
+	stall        time.Duration
+	stalled      bool
+	nextIndex    int
+	lastQuality  video.Quality
+	tputEstimate float64
+	results      Results
+	done         bool
+	onDone       func()
+
+	// per-segment delivery state for scoring and selective retx
+	segStates []*segState
+
+	// active download
+	dl *download
+
+	// selective retransmission
+	retxActive *retxState
+}
+
+type segState struct {
+	index    int
+	quality  video.Quality
+	received quic.RangeSet // object offsets relative to segment start
+	lost     quic.RangeSet
+	target   int
+	played   bool
+	resultIx int
+}
+
+type download struct {
+	cand      abr.Candidate
+	index     int
+	startedAt sim.Time
+	reliable  *httpsim.Response
+	body      *httpsim.Response
+	bodySpec  httpsim.RangeSpec
+	segStart  int64
+	state     *segState
+	relDone   bool
+	bodyDone  bool
+	gotBytes  int
+	restarts  int
+	wasted    int
+	finished  bool
+	poll      *sim.Event
+}
+
+type retxState struct {
+	seg  *segState
+	resp *httpsim.Response
+}
+
+// New creates a player for the given title over an established QUIC*
+// connection that already has a server.VideoServer on the other side.
+func New(s *sim.Sim, conn *quic.Conn, v *video.Video, m *dash.Manifest, cfg Config) *Player {
+	if cfg.Algorithm == nil {
+		panic("player: nil algorithm")
+	}
+	if cfg.BufferSegments <= 0 {
+		cfg.BufferSegments = 7
+	}
+	if cfg.Model == (qoe.Model{}) {
+		cfg.Model = qoe.DefaultModel
+	}
+	if cfg.MaxVirtualCandidates <= 0 {
+		cfg.MaxVirtualCandidates = 8
+	}
+	p := &Player{
+		sim:    s,
+		client: httpsim.NewClient(conn),
+		cfg:    cfg,
+		video:  v,
+		man:    m,
+		anal:   &prep.Analyzer{Model: cfg.Model, Metric: cfg.Metric},
+	}
+	p.segStates = make([]*segState, m.NumSegments())
+	return p
+}
+
+// Run starts the session; onDone fires when playback finished.
+func (p *Player) Run(onDone func()) {
+	p.onDone = onDone
+	start := p.sim.Now()
+	resp := p.client.Get(server.ManifestPath, nil, false, nil)
+	resp.OnComplete = func() {
+		// Seed the throughput estimate from the manifest transfer.
+		el := p.sim.Now() - start
+		if el > 0 && resp.BodyLen > 0 {
+			p.tputEstimate = float64(resp.BodyLen*8) / el.Seconds()
+		} else {
+			p.tputEstimate = 1e6
+		}
+		p.lastSync = p.sim.Now()
+		p.step()
+	}
+}
+
+// Results returns the session results (valid once done).
+func (p *Player) Results() *Results { return &p.results }
+
+// Done reports whether playback completed.
+func (p *Player) Done() bool { return p.done }
+
+// --- playback clock ---
+
+// syncBuffer advances the playback clock to now, draining buffer and
+// accumulating stall time.
+func (p *Player) syncBuffer() {
+	now := p.sim.Now()
+	elapsed := now - p.lastSync
+	p.lastSync = now
+	if !p.started || elapsed <= 0 {
+		return
+	}
+	if p.buffer >= elapsed {
+		p.buffer -= elapsed
+		p.stalled = false
+		return
+	}
+	// Drained mid-interval: the rest is stall (unless media ended).
+	stall := elapsed - p.buffer
+	p.buffer = 0
+	if p.nextIndex < p.man.NumSegments() || p.dl != nil {
+		p.stall += stall
+		p.stalled = true
+	}
+}
+
+func (p *Player) bufferCap() time.Duration {
+	return time.Duration(p.cfg.BufferSegments) * p.man.SegmentDuration
+}
+
+// --- the ABR loop ---
+
+func (p *Player) step() {
+	if p.done {
+		return
+	}
+	p.syncBuffer()
+	if p.nextIndex >= p.man.NumSegments() {
+		p.finishWhenDrained()
+		return
+	}
+	// Live edge: wait until the next segment has been produced.
+	if p.cfg.Live {
+		avail := time.Duration(p.nextIndex+1) * p.man.SegmentDuration
+		if now := p.sim.Now(); now < avail {
+			p.idle(avail - now)
+			return
+		}
+	}
+	// Buffer full? The algorithms return Sleep; but guard here too.
+	st := p.state()
+	opts := p.buildOptions(p.nextIndex)
+	d := p.cfg.Algorithm.Decide(st, opts)
+	if d.Sleep > 0 {
+		p.idle(d.Sleep)
+		return
+	}
+	p.startDownload(d.Candidate)
+}
+
+func (p *Player) state() abr.State {
+	return abr.State{
+		Buffer:      p.buffer,
+		BufferCap:   p.bufferCap(),
+		Throughput:  p.tputEstimate,
+		LastQuality: p.lastQuality,
+		Index:       p.nextIndex,
+		Total:       p.man.NumSegments(),
+		Startup:     !p.started,
+	}
+}
+
+// idle sleeps; in VOXEL mode idle periods run selective retransmission.
+func (p *Player) idle(d time.Duration) {
+	if p.cfg.Mode == ModeVoxel && !p.cfg.DisableSelectiveRetx {
+		p.maybeSelectiveRetx()
+	}
+	if d < 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	p.sim.Schedule(d, p.step)
+}
+
+// finishWhenDrained ends the session after the buffer plays out.
+func (p *Player) finishWhenDrained() {
+	if p.buffer > 0 {
+		p.sim.Schedule(p.buffer, func() {
+			p.syncBuffer()
+			p.finishWhenDrained()
+		})
+		return
+	}
+	if p.done {
+		return
+	}
+	p.done = true
+	p.results.PlayDuration = p.man.Duration()
+	p.results.StallTime = p.stall
+	if p.onDone != nil {
+		p.onDone()
+	}
+}
+
+// --- candidate construction ---
+
+func (p *Player) buildOptions(idx int) abr.Options {
+	var opts abr.Options
+	for q := 0; q < len(p.man.Reps); q++ {
+		seg := p.man.Segment(video.Quality(q), idx)
+		full := abr.Candidate{
+			Quality:   video.Quality(q),
+			Bytes:     seg.Bytes,
+			FullBytes: seg.Bytes,
+			Frames:    video.FramesPerSeg,
+		}
+		if len(seg.Points) > 0 {
+			full.Score = seg.Points[len(seg.Points)-1].Score
+		}
+		var cands []abr.Candidate
+		switch {
+		case p.cfg.BetaCandidates:
+			// BETA: one virtual level per quality (unreferenced-B drop).
+			s := p.video.Segment(idx, video.Quality(q))
+			bytes, score, frames := p.anal.BetaVirtualLevel(s)
+			if bytes < seg.Bytes {
+				cands = append(cands, abr.Candidate{
+					Quality: video.Quality(q), Bytes: bytes, FullBytes: seg.Bytes,
+					Score: score, Frames: frames, Virtual: true,
+				})
+			}
+		case p.usesVirtualLevels() && len(seg.Points) > 1:
+			// VOXEL: manifest points above the lower-rung bound.
+			bound := 0.0
+			if q > 0 {
+				lower := p.man.Segment(video.Quality(q-1), idx)
+				if len(lower.Points) > 0 {
+					bound = lower.Points[len(lower.Points)-1].Score
+				}
+			}
+			pts := seg.Points[:len(seg.Points)-1] // exclude the full point
+			kept := 0
+			for _, pt := range pts {
+				if pt.Score < bound {
+					continue
+				}
+				if kept >= p.cfg.MaxVirtualCandidates {
+					break
+				}
+				kept++
+				cands = append(cands, abr.Candidate{
+					Quality: video.Quality(q), Bytes: pt.Bytes, FullBytes: seg.Bytes,
+					Score: pt.Score, Frames: pt.Frames, Virtual: true,
+				})
+			}
+		}
+		cands = append(cands, full)
+		opts.PerQuality = append(opts.PerQuality, cands)
+	}
+	return opts
+}
+
+func (p *Player) usesVirtualLevels() bool {
+	return p.cfg.Mode == ModeVoxel || p.cfg.Mode == ModeVoxelReliable
+}
+
+// --- download execution ---
+
+func (p *Player) startDownload(cand abr.Candidate) {
+	idx := p.nextIndex
+	seg := p.man.Segment(cand.Quality, idx)
+	state := &segState{index: idx, quality: cand.Quality, target: cand.Bytes}
+	p.segStates[idx] = state
+	dl := &download{
+		cand:      cand,
+		index:     idx,
+		startedAt: p.sim.Now(),
+		segStart:  seg.MediaRange[0],
+		state:     state,
+	}
+	p.dl = dl
+	p.issueRequests(dl, seg)
+	p.schedulePoll(dl)
+}
+
+// issueRequests issues the mode-appropriate HTTP requests for the current
+// candidate of dl.
+func (p *Player) issueRequests(dl *download, seg *dash.SegmentInfo) {
+	path := server.VideoPath(int(dl.cand.Quality))
+	base := seg.MediaRange[0]
+
+	toAbs := func(ranges [][2]int) httpsim.RangeSpec {
+		out := make(httpsim.RangeSpec, 0, len(ranges))
+		for _, r := range ranges {
+			out = append(out, [2]int64{base + int64(r[0]), base + int64(r[1])})
+		}
+		return out
+	}
+
+	switch p.cfg.Mode {
+	case ModeReliable, ModeVoxelReliable:
+		// One reliable transfer. For virtual candidates, fetch the
+		// reliable part plus body ranges up to the target byte count.
+		spec := httpsim.RangeSpec{{base, base + int64(dl.cand.Bytes)}}
+		if p.cfg.Mode == ModeVoxelReliable || p.cfg.BetaCandidates {
+			spec = p.prefixSpec(dl.index, seg, dl.cand, base)
+		}
+		dl.bodySpec = spec
+		dl.relDone = true // no separate reliable phase
+		dl.body = p.client.Get(path, spec, false, nil)
+		p.wireBody(dl)
+	case ModeOpaque, ModeVoxel:
+		// Two-phase fetch (§4.2): reliable I-frame + headers, then the
+		// frame bodies over an unreliable stream.
+		relSpec := toAbs(seg.Reliable)
+		dl.reliable = p.client.Get(path, relSpec, false, nil)
+		rel := dl.reliable
+		rel.OnComplete = func() {
+			if dl.finished || p.dl != dl {
+				return
+			}
+			dl.relDone = true
+			// The reliable part arrived in full.
+			for _, r := range relSpec {
+				dl.state.received.Add(uint64(r[0]-base), uint64(r[1]-base))
+			}
+			dl.gotBytes += int(relSpec.TotalBytes())
+			p.maybeFinishDownload(dl)
+		}
+
+		var bodyRanges [][2]int
+		if p.cfg.Mode == ModeOpaque || !dl.cand.Virtual {
+			bodyRanges = seg.Unreliable
+		} else {
+			// First Frames-1 body ranges per the candidate's point.
+			n := dl.cand.Frames - 1
+			if n > len(seg.Unreliable) {
+				n = len(seg.Unreliable)
+			}
+			bodyRanges = seg.Unreliable[:n]
+		}
+		if len(bodyRanges) == 0 {
+			dl.bodyDone = true
+			p.maybeFinishDownload(dl)
+			return
+		}
+		dl.bodySpec = toAbs(bodyRanges)
+		dl.body = p.client.Get(path, dl.bodySpec, true, nil)
+		p.wireBody(dl)
+	}
+}
+
+// prefixSpec builds the range list covering the candidate's byte target in
+// download order (for reliable partial transfers).
+func (p *Player) prefixSpec(idx int, seg *dash.SegmentInfo, cand abr.Candidate, base int64) httpsim.RangeSpec {
+	if !cand.Virtual {
+		return httpsim.RangeSpec{{base, base + int64(cand.Bytes)}}
+	}
+	if p.cfg.BetaCandidates {
+		// BETA ships everything except the unreferenced B-frames, over a
+		// reliable transport (its modified files make this a contiguous
+		// prefix; range requests express the same byte set here).
+		s := p.video.Segment(idx, cand.Quality)
+		var spec httpsim.RangeSpec
+		for i := range s.Frames {
+			if s.Frames[i].Type == video.BFrame && !s.Referenced(i) {
+				// Still ship the headers so the decoder stays in sync.
+				hs, he := s.HeaderRange(i)
+				spec = append(spec, [2]int64{base + int64(hs), base + int64(he)})
+				continue
+			}
+			fs, fe := s.FrameRange(i)
+			spec = append(spec, [2]int64{base + int64(fs), base + int64(fe)})
+		}
+		return spec
+	}
+	var spec httpsim.RangeSpec
+	for _, r := range seg.Reliable {
+		spec = append(spec, [2]int64{base + int64(r[0]), base + int64(r[1])})
+	}
+	n := cand.Frames - 1
+	if n > len(seg.Unreliable) {
+		n = len(seg.Unreliable)
+	}
+	for _, r := range seg.Unreliable[:n] {
+		spec = append(spec, [2]int64{base + int64(r[0]), base + int64(r[1])})
+	}
+	return spec
+}
+
+// wireBody attaches delivery callbacks for the body response of dl.
+func (p *Player) wireBody(dl *download) {
+	body := dl.body
+	spec := dl.bodySpec
+	segStart := dl.segStart
+	body.OnBody = func(off int64, data []byte) {
+		if dl.finished || p.dl != dl {
+			return
+		}
+		dl.gotBytes += len(data)
+		mapBody(spec, off, int64(len(data)), func(s, e int64) {
+			dl.state.received.Add(uint64(s-segStart), uint64(e-segStart))
+		})
+	}
+	body.OnLost = func(off, n int64) {
+		if dl.finished || p.dl != dl {
+			return
+		}
+		mapBody(spec, off, n, func(s, e int64) {
+			dl.state.lost.Add(uint64(s-segStart), uint64(e-segStart))
+		})
+	}
+	body.OnComplete = func() {
+		if dl.finished || p.dl != dl {
+			return
+		}
+		dl.bodyDone = true
+		p.maybeFinishDownload(dl)
+	}
+}
+
+// mapBody translates a chunk in concatenated-body space into object ranges.
+func mapBody(spec httpsim.RangeSpec, bodyOff, n int64, fn func(objStart, objEnd int64)) {
+	pos := int64(0)
+	for _, r := range spec {
+		l := r[1] - r[0]
+		if bodyOff < pos+l && bodyOff+n > pos {
+			s := r[0] + max64(bodyOff-pos, 0)
+			e := r[0] + min64(bodyOff+n-pos, l)
+			if e > s {
+				fn(s, e)
+			}
+		}
+		pos += l
+		if pos >= bodyOff+n {
+			break
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *Player) maybeFinishDownload(dl *download) {
+	if dl.finished || !dl.relDone {
+		return
+	}
+	if dl.body != nil && !dl.bodyDone {
+		return
+	}
+	p.completeSegment(dl)
+}
+
+// schedulePoll arms the periodic abandonment check.
+func (p *Player) schedulePoll(dl *download) {
+	dl.poll = p.sim.Schedule(250*time.Millisecond, func() {
+		if dl.finished || p.dl != dl || p.done {
+			return
+		}
+		p.syncBuffer()
+		elapsed := p.sim.Now() - dl.startedAt
+		tput := 0.0
+		if elapsed > 0 {
+			tput = float64(dl.gotBytes*8) / elapsed.Seconds()
+		}
+		action := p.cfg.Algorithm.Abandon(p.state(), p.buildOptions(dl.index), abr.Progress{
+			Candidate:  dl.cand,
+			BytesDone:  dl.gotBytes,
+			Elapsed:    elapsed,
+			Throughput: tput,
+		})
+		switch action.Kind {
+		case abr.Restart:
+			p.restartDownload(dl, action.NewCandidate)
+		case abr.FinishPartial:
+			p.finishPartial(dl)
+		default:
+			p.schedulePoll(dl)
+		}
+	})
+}
+
+// restartDownload discards the current transfer and refetches the segment
+// with the new candidate (BOLA/BETA behaviour — the waste VOXEL avoids).
+func (p *Player) restartDownload(dl *download, cand abr.Candidate) {
+	dl.finished = true
+	p.cancel(dl)
+	wasted := dl.gotBytes
+	p.results.BytesWasted += int64(wasted)
+
+	seg := p.man.Segment(cand.Quality, dl.index)
+	state := &segState{index: dl.index, quality: cand.Quality, target: cand.Bytes}
+	p.segStates[dl.index] = state
+	nd := &download{
+		cand:      cand,
+		index:     dl.index,
+		startedAt: p.sim.Now(),
+		segStart:  seg.MediaRange[0],
+		state:     state,
+		restarts:  dl.restarts + 1,
+		wasted:    dl.wasted + wasted,
+	}
+	p.dl = nd
+	p.issueRequests(nd, seg)
+	p.schedulePoll(nd)
+}
+
+// finishPartial stops fetching and accepts what arrived (ABR*, §4.3).
+func (p *Player) finishPartial(dl *download) {
+	if dl.finished {
+		return
+	}
+	// Mark everything not yet received in the *planned* spec as lost; the
+	// reliable part, if incomplete, still completes in the background but
+	// we score with what we have now.
+	p.completeSegment(dl)
+}
+
+func (p *Player) cancel(dl *download) {
+	if dl.reliable != nil {
+		dl.reliable.Cancel()
+	}
+	if dl.body != nil {
+		dl.body.Cancel()
+	}
+	if dl.poll != nil {
+		p.sim.Cancel(dl.poll)
+	}
+}
+
+// completeSegment finalizes the current download and advances the loop.
+func (p *Player) completeSegment(dl *download) {
+	if dl.finished {
+		return
+	}
+	dl.finished = true
+	p.cancel(dl)
+	p.syncBuffer()
+
+	st := dl.state
+	elapsed := p.sim.Now() - dl.startedAt
+	if elapsed > 0 && dl.gotBytes > 0 {
+		sample := float64(dl.gotBytes*8) / elapsed.Seconds()
+		// EWMA throughput estimate.
+		if p.tputEstimate == 0 {
+			p.tputEstimate = sample
+		} else {
+			p.tputEstimate = 0.7*p.tputEstimate + 0.3*sample
+		}
+		p.cfg.Algorithm.OnSample(abr.Sample{Throughput: sample, Duration: elapsed})
+	}
+
+	score := p.scoreSegment(st)
+	full := p.man.Segment(st.quality, st.index).Bytes
+	got := int(st.received.CoveredBytes())
+	res := SegmentResult{
+		Index:      st.index,
+		Quality:    st.quality,
+		Virtual:    dl.cand.Virtual,
+		TargetByte: dl.cand.Bytes,
+		GotBytes:   got,
+		LostBytes:  int(st.lost.CoveredBytes()),
+		Score:      score,
+		Restarts:   dl.restarts,
+		WastedBytes: dl.wasted,
+	}
+	st.resultIx = len(p.results.Segments)
+	p.results.Segments = append(p.results.Segments, res)
+	p.results.BytesReceived += int64(got)
+	p.results.ChosenBytes += int64(full)
+	if miss := full - got; miss > 0 {
+		p.results.SkippedBytes += int64(miss)
+	}
+	p.results.TargetBytes += int64(dl.cand.Bytes)
+	p.results.LostInTransit += int64(st.lost.CoveredBytes())
+	if len(p.results.Segments) > 1 &&
+		p.results.Segments[len(p.results.Segments)-2].Quality != st.quality {
+		p.results.Switches++
+	}
+
+	p.buffer += p.man.SegmentDuration
+	if !p.started {
+		p.started = true
+		p.startupAt = p.sim.Now()
+		p.results.StartupDelay = p.sim.Now()
+		p.lastSync = p.sim.Now()
+	}
+	p.lastQuality = st.quality
+	p.nextIndex++
+	p.dl = nil
+	p.step()
+}
+
+// scoreSegment computes the QoE of a segment's delivery state by mapping
+// received object ranges to per-frame body loss fractions.
+func (p *Player) scoreSegment(st *segState) float64 {
+	s := p.video.Segment(st.index, st.quality)
+	loss := make([]float64, len(s.Frames))
+	for i := range s.Frames {
+		bs, be := s.BodyRange(i)
+		if be == bs {
+			continue
+		}
+		have := uint64(be-bs) - gapBytes(&st.received, uint64(bs), uint64(be))
+		loss[i] = 1 - float64(have)/float64(be-bs)
+	}
+	return p.cfg.Model.Score(p.cfg.Metric, s, loss)
+}
+
+func gapBytes(rs *quic.RangeSet, start, end uint64) uint64 {
+	var n uint64
+	for _, g := range rs.Gaps(start, end) {
+		n += g.Len()
+	}
+	return n
+}
+
+// --- selective retransmission (§4.2) ---
+
+// maybeSelectiveRetx re-requests lost ranges of unplayed segments while
+// the buffer is full.
+func (p *Player) maybeSelectiveRetx() {
+	if p.retxActive != nil {
+		return
+	}
+	// Find the earliest unplayed segment with holes.
+	playedUpTo := p.nextIndex - int(p.buffer/p.man.SegmentDuration)
+	for idx := playedUpTo; idx < p.nextIndex; idx++ {
+		if idx < 0 || p.segStates[idx] == nil {
+			continue
+		}
+		st := p.segStates[idx]
+		holes := p.segmentHoles(st)
+		if len(holes) == 0 {
+			continue
+		}
+		seg := p.man.Segment(st.quality, st.index)
+		spec := make(httpsim.RangeSpec, 0, len(holes))
+		for _, h := range holes {
+			spec = append(spec, [2]int64{seg.MediaRange[0] + int64(h.Start), seg.MediaRange[0] + int64(h.End)})
+		}
+		resp := p.client.Get(server.VideoPath(int(st.quality)), spec, true, nil)
+		rx := &retxState{seg: st, resp: resp}
+		p.retxActive = rx
+		segStart := seg.MediaRange[0]
+		resp.OnBody = func(off int64, data []byte) {
+			mapBody(spec, off, int64(len(data)), func(s, e int64) {
+				before := st.received.CoveredBytes()
+				st.received.Add(uint64(s-segStart), uint64(e-segStart))
+				p.results.RecoveredBytes += int64(st.received.CoveredBytes() - before)
+			})
+		}
+		resp.OnComplete = func() {
+			p.retxActive = nil
+			// Re-score with the recovered data if not yet played.
+			if st.resultIx < len(p.results.Segments) {
+				p.results.Segments[st.resultIx].Score = p.scoreSegment(st)
+				p.results.Segments[st.resultIx].GotBytes = int(st.received.CoveredBytes())
+			}
+		}
+		return
+	}
+}
+
+// segmentHoles returns missing ranges within the segment's *target* bytes
+// (the part the plan wanted delivered).
+func (p *Player) segmentHoles(st *segState) []quic.ByteRange {
+	if st.lost.IsEmpty() {
+		return nil
+	}
+	var holes []quic.ByteRange
+	for _, l := range st.lost.Ranges() {
+		for _, g := range st.received.Gaps(l.Start, l.End) {
+			holes = append(holes, g)
+		}
+	}
+	return holes
+}

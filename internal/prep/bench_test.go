@@ -1,0 +1,24 @@
+package prep
+
+import (
+	"testing"
+
+	"voxel/internal/video"
+)
+
+func BenchmarkAnalyzeSegment(b *testing.B) {
+	a := NewAnalyzer()
+	s := video.MustLoad("BBB").Segment(3, 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Analyze(s, 0.9935)
+	}
+}
+
+func BenchmarkMaxDropFraction(b *testing.B) {
+	a := NewAnalyzer()
+	s := video.MustLoad("Sintel").Segment(7, 12)
+	for i := 0; i < b.N; i++ {
+		a.MaxDropFraction(s, OrderByInboundRefs, 0.99)
+	}
+}

@@ -1,0 +1,30 @@
+package qoe
+
+import (
+	"testing"
+
+	"voxel/internal/video"
+)
+
+func BenchmarkSegmentSSIM(b *testing.B) {
+	s := video.MustLoad("BBB").Segment(0, 12)
+	loss := make([]float64, len(s.Frames))
+	for i := 20; i < 60; i++ {
+		loss[i] = 1
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DefaultModel.SegmentSSIM(s, loss)
+	}
+}
+
+func BenchmarkScoreAllMetrics(b *testing.B) {
+	s := video.MustLoad("ToS").Segment(5, 9)
+	loss := make([]float64, len(s.Frames))
+	loss[50] = 0.5
+	for i := 0; i < b.N; i++ {
+		DefaultModel.Score(SSIM, s, loss)
+		DefaultModel.Score(VMAF, s, loss)
+		DefaultModel.Score(PSNR, s, loss)
+	}
+}

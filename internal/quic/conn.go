@@ -1,0 +1,646 @@
+package quic
+
+import (
+	"sort"
+	"time"
+
+	"voxel/internal/cc"
+	"voxel/internal/netem"
+	"voxel/internal/sim"
+)
+
+// Config parameterizes a QUIC* connection.
+type Config struct {
+	// MTU is the maximum QUIC packet size (before per-packet overhead).
+	MTU int
+	// Overhead is the per-packet on-wire overhead (UDP+IP headers).
+	Overhead int
+	// InitialMaxData is the connection flow-control window granted to the
+	// peer.
+	InitialMaxData uint64
+	// DisablePacing turns off packet pacing (bursts the full window).
+	DisablePacing bool
+	// Controller overrides the congestion controller (default CUBIC).
+	Controller cc.Controller
+}
+
+func (c Config) withDefaults() Config {
+	if c.MTU == 0 {
+		c.MTU = cc.MSS
+	}
+	if c.Overhead == 0 {
+		c.Overhead = 28
+	}
+	if c.InitialMaxData == 0 {
+		c.InitialMaxData = 16 << 20
+	}
+	if c.Controller == nil {
+		c.Controller = cc.NewCubic()
+	}
+	return c
+}
+
+// Stats counts transport-level activity for the experiment harness.
+type Stats struct {
+	PacketsSent       uint64
+	PacketsReceived   uint64
+	PacketsDeclLost   uint64
+	BytesSent         uint64 // QUIC payload bytes incl. headers
+	StreamBytesSent   uint64 // new stream payload bytes
+	RetransmitBytes   uint64 // reliable stream bytes retransmitted
+	UnreliableLost    uint64 // unreliable stream bytes reported lost
+	UnreliableRewrite uint64 // bytes re-sent via WriteAt (selective retx)
+	PTOCount          uint64
+}
+
+type sentPacket struct {
+	pn           uint64
+	size         int // wire size incl. overhead, for cc accounting
+	sentAt       sim.Time
+	ackEliciting bool
+	streamFrames []*StreamFrame
+	ctrlFrames   []Frame
+	probe        bool
+}
+
+type rewrite struct {
+	stream *Stream
+	offset uint64
+	data   []byte
+}
+
+// Conn is one endpoint of a QUIC* connection running inside the simulator.
+type Conn struct {
+	sim   *sim.Sim
+	cfg   Config
+	link  *netem.Link // direction toward the peer
+	peer  *Conn
+	ctl   cc.Controller
+	rtt   cc.RTTEstimator
+	stats Stats
+
+	// packet number spaces
+	nextPN        uint64
+	sent          map[uint64]*sentPacket
+	largestAcked  uint64
+	anyAcked      bool
+	recoveryStart sim.Time
+	ptoTimer      *sim.Timer
+	ptoCount      int
+	lastAckElic   sim.Time
+
+	// receiving
+	recvdPNs     RangeSet
+	ackPending   bool
+	ackElicCount int
+	ackTimer     *sim.Timer
+
+	// streams
+	streams      map[uint64]*Stream
+	nextStreamID uint64
+	onStream     func(*Stream)
+	active       []*Stream // streams with pending new data, FIFO
+
+	// frame queues
+	ctrlQ      []Frame
+	retransmit []*StreamFrame
+	rewrites   []rewrite
+
+	// flow control
+	sendLimit    uint64 // peer's MAX_DATA
+	sentData     uint64 // new stream payload bytes sent
+	recvLimit    uint64 // what we advertised
+	recvData     uint64 // stream payload bytes received (new bytes)
+	sendBlockedF bool
+
+	// pacing
+	paceTimer  *sim.Timer
+	nextSendAt sim.Time
+	sendArmed  bool
+}
+
+// NewPair creates a connected client/server pair over the path. The client
+// transmits on path.Up and the server on path.Down (the shaped bottleneck).
+func NewPair(s *sim.Sim, path *netem.Path, clientCfg, serverCfg Config) (client, server *Conn) {
+	client = newConn(s, path.Up, clientCfg, true)
+	server = newConn(s, path.Down, serverCfg, false)
+	client.peer = server
+	server.peer = client
+	client.sendLimit = server.cfg.InitialMaxData
+	server.sendLimit = client.cfg.InitialMaxData
+	return client, server
+}
+
+func newConn(s *sim.Sim, link *netem.Link, cfg Config, isClient bool) *Conn {
+	cfg = cfg.withDefaults()
+	c := &Conn{
+		sim:       s,
+		cfg:       cfg,
+		link:      link,
+		ctl:       cfg.Controller,
+		sent:      make(map[uint64]*sentPacket),
+		streams:   make(map[uint64]*Stream),
+		recvLimit: cfg.InitialMaxData,
+	}
+	if isClient {
+		c.nextStreamID = 0
+	} else {
+		c.nextStreamID = 1
+	}
+	c.ptoTimer = sim.NewTimer(s, c.onPTO)
+	c.ackTimer = sim.NewTimer(s, func() { c.sendAckNow() })
+	c.paceTimer = sim.NewTimer(s, func() {
+		c.sendArmed = false
+		c.trySend()
+	})
+	return c
+}
+
+// Stats returns a snapshot of the connection counters.
+func (c *Conn) Stats() Stats { return c.stats }
+
+// RTT returns the connection's RTT estimator.
+func (c *Conn) RTT() *cc.RTTEstimator { return &c.rtt }
+
+// Controller exposes the congestion controller (read-only use).
+func (c *Conn) Controller() cc.Controller { return c.ctl }
+
+// OnStream registers the callback invoked when the peer opens a stream.
+func (c *Conn) OnStream(fn func(*Stream)) { c.onStream = fn }
+
+// OpenStream opens a new locally initiated stream.
+func (c *Conn) OpenStream(unreliable bool) *Stream {
+	s := &Stream{conn: c, id: c.nextStreamID, unreliable: unreliable}
+	c.nextStreamID += 2
+	c.streams[s.id] = s
+	return s
+}
+
+func (c *Conn) markActive(s *Stream) {
+	for _, a := range c.active {
+		if a == s {
+			c.trySend()
+			return
+		}
+	}
+	c.active = append(c.active, s)
+	c.trySend()
+}
+
+func (c *Conn) queueUnreliableRewrite(s *Stream, offset uint64, data []byte) {
+	c.rewrites = append(c.rewrites, rewrite{stream: s, offset: offset, data: data})
+	c.trySend()
+}
+
+// --- send path ---
+
+// trySend drains as much pending data as congestion control and pacing
+// allow, then arms the pacing timer if blocked on time.
+func (c *Conn) trySend() {
+	for {
+		if !c.hasPending() {
+			return
+		}
+		now := c.sim.Now()
+		if !c.cfg.DisablePacing && c.nextSendAt > now && c.hasAckElicitingPending() {
+			if !c.sendArmed {
+				c.sendArmed = true
+				c.paceTimer.ArmAt(c.nextSendAt)
+			}
+			// ACK-only packets are not paced.
+			if c.ackPending && c.ackElicCount >= 2 {
+				c.sendAckNow()
+			}
+			return
+		}
+		if !c.sendOnePacket() {
+			return
+		}
+	}
+}
+
+func (c *Conn) hasPending() bool {
+	return c.ackPending || c.hasAckElicitingPending()
+}
+
+func (c *Conn) hasAckElicitingPending() bool {
+	if len(c.ctrlQ) > 0 || len(c.retransmit) > 0 || len(c.rewrites) > 0 {
+		return true
+	}
+	for _, s := range c.active {
+		if s.pendingSendBytes() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// sendOnePacket assembles and transmits one packet; it returns false when
+// nothing was sent (no data, or blocked by congestion control).
+func (c *Conn) sendOnePacket() bool {
+	now := c.sim.Now()
+	canSendData := c.ctl.CanSend(c.cfg.MTU)
+	budget := c.cfg.MTU - 1 - 8 // header byte + worst-case packet number
+
+	var frames []Frame
+	sp := &sentPacket{pn: c.nextPN, sentAt: now}
+
+	if c.ackPending {
+		ack := c.buildAck()
+		if ack.wireSize() <= budget {
+			frames = append(frames, ack)
+			budget -= ack.wireSize()
+			c.clearAckState()
+		}
+	}
+
+	if canSendData {
+		// Control frames (MAX_DATA, LOSS_REPORT): reliable, requeued on loss.
+		for len(c.ctrlQ) > 0 && c.ctrlQ[0].wireSize() <= budget {
+			f := c.ctrlQ[0]
+			c.ctrlQ = c.ctrlQ[1:]
+			frames = append(frames, f)
+			budget -= f.wireSize()
+			sp.ctrlFrames = append(sp.ctrlFrames, f)
+		}
+		// Retransmissions of reliable stream data.
+		for len(c.retransmit) > 0 && budget > 64 {
+			f := c.retransmit[0]
+			hdr := streamFrameOverhead(f.StreamID, f.Offset, len(f.Data))
+			if hdr+len(f.Data) <= budget {
+				c.retransmit = c.retransmit[1:]
+				frames = append(frames, f)
+				budget -= f.wireSize()
+				sp.streamFrames = append(sp.streamFrames, f)
+				c.stats.RetransmitBytes += uint64(len(f.Data))
+			} else {
+				// Split: send a prefix now, keep the suffix queued.
+				avail := budget - hdr
+				if avail <= 0 {
+					break
+				}
+				head := &StreamFrame{StreamID: f.StreamID, Offset: f.Offset,
+					Data: f.Data[:avail], Unreliable: f.Unreliable}
+				f.Offset += uint64(avail)
+				f.Data = f.Data[avail:]
+				frames = append(frames, head)
+				budget -= head.wireSize()
+				sp.streamFrames = append(sp.streamFrames, head)
+				c.stats.RetransmitBytes += uint64(len(head.Data))
+			}
+		}
+		// Application-level rewrites on unreliable streams (selective retx).
+		for len(c.rewrites) > 0 && budget > 64 {
+			rw := &c.rewrites[0]
+			hdr := streamFrameOverhead(rw.stream.id, rw.offset, len(rw.data))
+			n := len(rw.data)
+			if hdr+n > budget {
+				n = budget - hdr
+			}
+			if n <= 0 {
+				break
+			}
+			f := &StreamFrame{StreamID: rw.stream.id, Offset: rw.offset,
+				Data: rw.data[:n], Unreliable: true}
+			rw.offset += uint64(n)
+			rw.data = rw.data[n:]
+			if len(rw.data) == 0 {
+				c.rewrites = c.rewrites[1:]
+			}
+			frames = append(frames, f)
+			budget -= f.wireSize()
+			sp.streamFrames = append(sp.streamFrames, f)
+			c.stats.UnreliableRewrite += uint64(len(f.Data))
+		}
+		// New stream data, FIFO across active streams.
+		for len(c.active) > 0 && budget > 64 {
+			s := c.active[0]
+			if s.pendingSendBytes() == 0 {
+				c.active = c.active[1:]
+				continue
+			}
+			if c.sentData >= c.sendLimit {
+				break // connection flow control blocked
+			}
+			maxData := budget - streamFrameOverhead(s.id, s.sendBase, budget)
+			if fc := int(c.sendLimit - c.sentData); maxData > fc {
+				maxData = fc
+			}
+			f := s.nextFrame(maxData)
+			if f == nil {
+				break
+			}
+			frames = append(frames, f)
+			budget -= f.wireSize()
+			sp.streamFrames = append(sp.streamFrames, f)
+			c.sentData += uint64(len(f.Data))
+			c.stats.StreamBytesSent += uint64(len(f.Data))
+		}
+	}
+
+	if len(frames) == 0 {
+		return false
+	}
+
+	pkt := &Packet{Number: c.nextPN, Frames: frames}
+	c.nextPN++
+	encoded := pkt.Encode()
+	wireSize := len(encoded) + c.cfg.Overhead
+	sp.size = wireSize
+	sp.ackEliciting = pkt.AckEliciting()
+
+	c.stats.PacketsSent++
+	c.stats.BytesSent += uint64(len(encoded))
+
+	if sp.ackEliciting {
+		c.sent[sp.pn] = sp
+		c.ctl.OnPacketSent(now, wireSize)
+		c.lastAckElic = now
+		c.armPTO()
+		// Pacing: space packets at ~1.25× the window rate.
+		if !c.cfg.DisablePacing {
+			rate := 1.25 * float64(c.ctl.Window()) / c.rtt.SmoothedRTT().Seconds()
+			gap := sim.Time(float64(wireSize) / rate * float64(time.Second))
+			base := c.nextSendAt
+			if base < now {
+				base = now
+			}
+			c.nextSendAt = base + gap
+		}
+	}
+
+	peer := c.peer
+	c.link.Send(netem.Datagram{Size: wireSize, Deliver: func() {
+		peer.receive(encoded)
+	}})
+	return true
+}
+
+func (c *Conn) buildAck() *AckFrame {
+	rs := c.recvdPNs.Ranges()
+	f := &AckFrame{}
+	// Largest-first, capped at 32 ranges.
+	for i := len(rs) - 1; i >= 0 && len(f.Ranges) < 32; i-- {
+		f.Ranges = append(f.Ranges, AckRange{First: rs[i].Start, Last: rs[i].End - 1})
+	}
+	return f
+}
+
+func (c *Conn) clearAckState() {
+	c.ackPending = false
+	c.ackElicCount = 0
+	c.ackTimer.Stop()
+}
+
+func (c *Conn) sendAckNow() {
+	if !c.ackPending {
+		return
+	}
+	ack := c.buildAck()
+	pkt := &Packet{Number: c.nextPN, Frames: []Frame{ack}}
+	c.nextPN++
+	c.clearAckState()
+	encoded := pkt.Encode()
+	c.stats.PacketsSent++
+	c.stats.BytesSent += uint64(len(encoded))
+	peer := c.peer
+	c.link.Send(netem.Datagram{Size: len(encoded) + c.cfg.Overhead, Deliver: func() {
+		peer.receive(encoded)
+	}})
+}
+
+// --- receive path ---
+
+func (c *Conn) receive(encoded []byte) {
+	pkt, err := DecodePacket(encoded)
+	if err != nil {
+		return // corrupt packets are dropped
+	}
+	c.stats.PacketsReceived++
+	c.recvdPNs.Add(pkt.Number, pkt.Number+1)
+
+	for _, f := range pkt.Frames {
+		switch f := f.(type) {
+		case *AckFrame:
+			c.onAck(f)
+		case *StreamFrame:
+			c.onStreamFrame(f)
+		case *LossReportFrame:
+			if s := c.streams[f.StreamID]; s != nil {
+				s.handleLossReport(f)
+			}
+		case *MaxDataFrame:
+			if f.Max > c.sendLimit {
+				c.sendLimit = f.Max
+			}
+		case PingFrame:
+			// ack-eliciting only
+		}
+	}
+
+	if pkt.AckEliciting() {
+		c.ackPending = true
+		c.ackElicCount++
+		if c.ackElicCount >= 2 {
+			c.sendAckNow()
+		} else if !c.ackTimer.Armed() {
+			c.ackTimer.Arm(25 * time.Millisecond)
+		}
+	}
+	c.trySend()
+}
+
+func (c *Conn) onStreamFrame(f *StreamFrame) {
+	s := c.streams[f.StreamID]
+	if s == nil {
+		// Peer-initiated stream: register it and notify the application
+		// before delivering data so callbacks are in place.
+		s = &Stream{conn: c, id: f.StreamID, unreliable: f.Unreliable}
+		c.streams[f.StreamID] = s
+		if c.onStream != nil {
+			c.onStream(s)
+		}
+	}
+	before := s.received.CoveredBytes()
+	s.handleData(f)
+	newBytes := s.received.CoveredBytes() - before
+	c.recvData += newBytes
+	// Replenish connection flow control once half the window is consumed.
+	if c.recvLimit-c.recvData < c.cfg.InitialMaxData/2 {
+		c.recvLimit = c.recvData + c.cfg.InitialMaxData
+		c.ctrlQ = append(c.ctrlQ, &MaxDataFrame{Max: c.recvLimit})
+	}
+}
+
+func (c *Conn) onAck(f *AckFrame) {
+	now := c.sim.Now()
+	if len(f.Ranges) == 0 {
+		return
+	}
+	largest := f.Largest()
+	if !c.anyAcked || largest > c.largestAcked {
+		c.largestAcked = largest
+		c.anyAcked = true
+	}
+
+	// Collect acked packet numbers. ACK ranges cover the receiver's whole
+	// history (typically one huge contiguous range), so when a range spans
+	// far more than the in-flight set, scan the set instead of the range.
+	var ackedPNs []uint64
+	for _, r := range f.Ranges {
+		if r.Last-r.First > uint64(2*len(c.sent)+16) {
+			for pn := range c.sent {
+				if pn >= r.First && pn <= r.Last {
+					ackedPNs = append(ackedPNs, pn)
+				}
+			}
+		} else {
+			for pn := r.First; pn <= r.Last; pn++ {
+				if _, ok := c.sent[pn]; ok {
+					ackedPNs = append(ackedPNs, pn)
+				}
+			}
+		}
+	}
+	// Deterministic processing order regardless of map iteration.
+	sort.Slice(ackedPNs, func(i, j int) bool { return ackedPNs[i] < ackedPNs[j] })
+	newlyAcked := make([]*sentPacket, 0, len(ackedPNs))
+	for _, pn := range ackedPNs {
+		if sp, ok := c.sent[pn]; ok {
+			newlyAcked = append(newlyAcked, sp)
+			delete(c.sent, pn)
+		}
+	}
+	for _, sp := range newlyAcked {
+		c.ctl.OnAck(now, sp.size, now-sp.sentAt)
+		if sp.pn == largest {
+			c.rtt.OnSample(now - sp.sentAt)
+		}
+	}
+	if len(newlyAcked) > 0 {
+		c.ptoCount = 0
+	}
+
+	c.detectLosses(now)
+	c.armPTO()
+	c.trySend()
+}
+
+// detectLosses declares packets lost by packet threshold (3) and time
+// threshold (9/8 smoothed RTT behind the largest acknowledged packet).
+func (c *Conn) detectLosses(now sim.Time) {
+	if !c.anyAcked {
+		return
+	}
+	base := c.rtt.SmoothedRTT()
+	if l := c.rtt.LatestRTT(); l > base {
+		base = l
+	}
+	timeThresh := base*9/8 + 10*time.Millisecond
+	var lostPNs []uint64
+	for pn, sp := range c.sent {
+		if pn >= c.largestAcked {
+			continue
+		}
+		if c.largestAcked-pn >= 3 || now-sp.sentAt > timeThresh {
+			lostPNs = append(lostPNs, pn)
+		}
+	}
+	if len(lostPNs) == 0 {
+		return
+	}
+	sort.Slice(lostPNs, func(i, j int) bool { return lostPNs[i] < lostPNs[j] })
+	for _, pn := range lostPNs {
+		sp := c.sent[pn]
+		delete(c.sent, pn)
+		c.stats.PacketsDeclLost++
+		isNew := sp.sentAt >= c.recoveryStart
+		if isNew {
+			c.recoveryStart = now
+		}
+		c.ctl.OnLoss(now, sp.size, isNew)
+		c.requeueLost(sp)
+	}
+}
+
+// requeueLost recovers the contents of a lost packet: reliable stream data
+// is retransmitted, unreliable stream data becomes a LOSS_REPORT, and
+// control frames are requeued.
+func (c *Conn) requeueLost(sp *sentPacket) {
+	for _, f := range sp.streamFrames {
+		if f.Unreliable {
+			c.stats.UnreliableLost += uint64(len(f.Data))
+			c.ctrlQ = append(c.ctrlQ, &LossReportFrame{
+				StreamID: f.StreamID,
+				Offset:   f.Offset,
+				Length:   uint64(len(f.Data)),
+			})
+			if f.Fin {
+				// The FIN must still reach the peer: resend an empty FIN
+				// frame reliably so the stream's final size is known.
+				c.retransmit = append(c.retransmit, &StreamFrame{
+					StreamID: f.StreamID, Offset: f.Offset + uint64(len(f.Data)),
+					Fin: true, Unreliable: true,
+				})
+			}
+		} else {
+			c.retransmit = append(c.retransmit, f)
+		}
+	}
+	c.ctrlQ = append(c.ctrlQ, sp.ctrlFrames...)
+}
+
+// --- PTO ---
+
+func (c *Conn) armPTO() {
+	if len(c.sent) == 0 {
+		c.ptoTimer.Stop()
+		return
+	}
+	backoff := sim.Time(1) << uint(c.ptoCount)
+	c.ptoTimer.ArmAt(c.lastAckElic + c.rtt.PTO()*backoff)
+}
+
+func (c *Conn) onPTO() {
+	if len(c.sent) == 0 {
+		return
+	}
+	c.ptoCount++
+	c.stats.PTOCount++
+	now := c.sim.Now()
+	if c.ptoCount >= 3 {
+		// Persistent congestion: declare everything in flight lost and
+		// collapse the window.
+		var pns []uint64
+		for pn := range c.sent {
+			pns = append(pns, pn)
+		}
+		sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+		for _, pn := range pns {
+			sp := c.sent[pn]
+			delete(c.sent, pn)
+			c.stats.PacketsDeclLost++
+			c.requeueLost(sp)
+		}
+		c.ctl.OnRetransmissionTimeout(now)
+		c.recoveryStart = now
+		c.ptoCount = 0
+		c.nextSendAt = 0
+		c.trySend()
+		return
+	}
+	// Send a probe to elicit an ACK that unblocks threshold loss detection.
+	pkt := &Packet{Number: c.nextPN, Frames: []Frame{PingFrame{}}}
+	c.nextPN++
+	encoded := pkt.Encode()
+	sp := &sentPacket{pn: pkt.Number, size: len(encoded) + c.cfg.Overhead,
+		sentAt: now, ackEliciting: true, probe: true}
+	c.sent[sp.pn] = sp
+	c.stats.PacketsSent++
+	c.lastAckElic = now
+	peer := c.peer
+	c.link.Send(netem.Datagram{Size: sp.size, Deliver: func() {
+		peer.receive(encoded)
+	}})
+	c.armPTO()
+}

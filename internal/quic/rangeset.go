@@ -1,0 +1,155 @@
+package quic
+
+// ByteRange is a half-open byte interval [Start, End).
+type ByteRange struct {
+	Start, End uint64
+}
+
+// Len returns the range length.
+func (r ByteRange) Len() uint64 { return r.End - r.Start }
+
+// RangeSet maintains a set of non-overlapping, sorted byte ranges. It is
+// used for receive-buffer accounting, ACK ranges over packet numbers, and
+// the loss bookkeeping on unreliable streams.
+type RangeSet struct {
+	ranges []ByteRange // sorted by Start, non-overlapping, non-adjacent
+}
+
+// Add inserts [start, end), merging with overlapping or adjacent ranges.
+func (s *RangeSet) Add(start, end uint64) {
+	if end <= start {
+		return
+	}
+	// Fast paths for in-order arrival: extend or append at the tail
+	// without reallocating.
+	if n := len(s.ranges); n > 0 {
+		last := &s.ranges[n-1]
+		if start >= last.Start {
+			if start <= last.End {
+				if end > last.End {
+					last.End = end
+				}
+				return
+			}
+			s.ranges = append(s.ranges, ByteRange{start, end})
+			return
+		}
+	} else {
+		s.ranges = append(s.ranges, ByteRange{start, end})
+		return
+	}
+	out := s.ranges[:0:0]
+	inserted := false
+	for _, r := range s.ranges {
+		switch {
+		case r.End < start: // strictly before, not adjacent
+			out = append(out, r)
+		case end < r.Start: // strictly after, not adjacent
+			if !inserted {
+				out = append(out, ByteRange{start, end})
+				inserted = true
+			}
+			out = append(out, r)
+		default: // overlap or adjacency: merge
+			if r.Start < start {
+				start = r.Start
+			}
+			if r.End > end {
+				end = r.End
+			}
+		}
+	}
+	if !inserted {
+		out = append(out, ByteRange{start, end})
+	}
+	s.ranges = out
+}
+
+// Contains reports whether [start, end) is fully covered.
+func (s *RangeSet) Contains(start, end uint64) bool {
+	if end <= start {
+		return true
+	}
+	for _, r := range s.ranges {
+		if r.Start <= start && end <= r.End {
+			return true
+		}
+	}
+	return false
+}
+
+// CoveredBytes returns the total number of bytes covered.
+func (s *RangeSet) CoveredBytes() uint64 {
+	var n uint64
+	for _, r := range s.ranges {
+		n += r.Len()
+	}
+	return n
+}
+
+// Gaps returns the uncovered ranges within [start, end).
+func (s *RangeSet) Gaps(start, end uint64) []ByteRange {
+	var gaps []ByteRange
+	cur := start
+	for _, r := range s.ranges {
+		if r.End <= cur {
+			continue
+		}
+		if r.Start >= end {
+			break
+		}
+		if r.Start > cur {
+			gaps = append(gaps, ByteRange{cur, min64(r.Start, end)})
+		}
+		if r.End > cur {
+			cur = r.End
+		}
+		if cur >= end {
+			return gaps
+		}
+	}
+	if cur < end {
+		gaps = append(gaps, ByteRange{cur, end})
+	}
+	return gaps
+}
+
+// Ranges returns the covered ranges (read-only).
+func (s *RangeSet) Ranges() []ByteRange { return s.ranges }
+
+// ContiguousFrom returns the end of the contiguous covered prefix starting
+// at start; if start itself is uncovered it returns start.
+func (s *RangeSet) ContiguousFrom(start uint64) uint64 {
+	for _, r := range s.ranges {
+		if r.Start <= start && start < r.End {
+			return r.End
+		}
+	}
+	return start
+}
+
+// Min returns the smallest covered offset; ok is false when empty.
+func (s *RangeSet) Min() (uint64, bool) {
+	if len(s.ranges) == 0 {
+		return 0, false
+	}
+	return s.ranges[0].Start, true
+}
+
+// Max returns the largest covered offset (exclusive); ok is false when empty.
+func (s *RangeSet) Max() (uint64, bool) {
+	if len(s.ranges) == 0 {
+		return 0, false
+	}
+	return s.ranges[len(s.ranges)-1].End, true
+}
+
+// IsEmpty reports whether no bytes are covered.
+func (s *RangeSet) IsEmpty() bool { return len(s.ranges) == 0 }
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

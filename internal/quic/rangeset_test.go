@@ -1,0 +1,160 @@
+package quic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRangeSetAddMerge(t *testing.T) {
+	var s RangeSet
+	s.Add(10, 20)
+	s.Add(30, 40)
+	if len(s.Ranges()) != 2 {
+		t.Fatalf("want 2 ranges, got %v", s.Ranges())
+	}
+	s.Add(20, 30) // bridges the gap (adjacent merge)
+	if len(s.Ranges()) != 1 || s.Ranges()[0] != (ByteRange{10, 40}) {
+		t.Fatalf("merge failed: %v", s.Ranges())
+	}
+	s.Add(5, 15) // overlap left
+	if s.Ranges()[0] != (ByteRange{5, 40}) {
+		t.Fatalf("left extend failed: %v", s.Ranges())
+	}
+	s.Add(0, 100) // engulf
+	if len(s.Ranges()) != 1 || s.Ranges()[0] != (ByteRange{0, 100}) {
+		t.Fatalf("engulf failed: %v", s.Ranges())
+	}
+}
+
+func TestRangeSetEmptyAdd(t *testing.T) {
+	var s RangeSet
+	s.Add(5, 5)
+	s.Add(7, 3)
+	if !s.IsEmpty() {
+		t.Fatalf("degenerate adds should be ignored: %v", s.Ranges())
+	}
+}
+
+func TestRangeSetContains(t *testing.T) {
+	var s RangeSet
+	s.Add(10, 20)
+	s.Add(30, 40)
+	if !s.Contains(10, 20) || !s.Contains(12, 18) {
+		t.Fatal("Contains inside range failed")
+	}
+	if s.Contains(10, 25) || s.Contains(25, 35) || s.Contains(9, 11) {
+		t.Fatal("Contains across gap should be false")
+	}
+	if !s.Contains(15, 15) {
+		t.Fatal("empty interval is always contained")
+	}
+}
+
+func TestRangeSetGaps(t *testing.T) {
+	var s RangeSet
+	s.Add(10, 20)
+	s.Add(30, 40)
+	gaps := s.Gaps(0, 50)
+	want := []ByteRange{{0, 10}, {20, 30}, {40, 50}}
+	if len(gaps) != len(want) {
+		t.Fatalf("gaps = %v, want %v", gaps, want)
+	}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Fatalf("gaps = %v, want %v", gaps, want)
+		}
+	}
+	if g := s.Gaps(12, 18); g != nil {
+		t.Fatalf("fully covered interval should have no gaps, got %v", g)
+	}
+	if g := s.Gaps(22, 28); len(g) != 1 || g[0] != (ByteRange{22, 28}) {
+		t.Fatalf("fully uncovered: %v", g)
+	}
+}
+
+func TestRangeSetContiguousFrom(t *testing.T) {
+	var s RangeSet
+	s.Add(0, 100)
+	s.Add(150, 200)
+	if got := s.ContiguousFrom(0); got != 100 {
+		t.Fatalf("ContiguousFrom(0) = %d, want 100", got)
+	}
+	if got := s.ContiguousFrom(100); got != 100 {
+		t.Fatalf("ContiguousFrom(100) = %d, want 100 (uncovered)", got)
+	}
+	if got := s.ContiguousFrom(160); got != 200 {
+		t.Fatalf("ContiguousFrom(160) = %d, want 200", got)
+	}
+}
+
+func TestRangeSetMinMax(t *testing.T) {
+	var s RangeSet
+	if _, ok := s.Min(); ok {
+		t.Fatal("empty set should have no min")
+	}
+	s.Add(50, 60)
+	s.Add(10, 20)
+	if mn, _ := s.Min(); mn != 10 {
+		t.Fatalf("min = %d", mn)
+	}
+	if mx, _ := s.Max(); mx != 60 {
+		t.Fatalf("max = %d", mx)
+	}
+}
+
+// Property: RangeSet coverage matches a brute-force bitmap.
+func TestPropertyRangeSetMatchesBitmap(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const universe = 256
+		var s RangeSet
+		bitmap := make([]bool, universe)
+		for _, op := range ops {
+			start := uint64(op % universe)
+			length := uint64((op >> 8) % 32)
+			end := start + length
+			if end > universe {
+				end = universe
+			}
+			s.Add(start, end)
+			for i := start; i < end; i++ {
+				bitmap[i] = true
+			}
+		}
+		// Coverage count must match.
+		var want uint64
+		for _, b := range bitmap {
+			if b {
+				want++
+			}
+		}
+		if s.CoveredBytes() != want {
+			return false
+		}
+		// Ranges must be sorted, non-overlapping, non-adjacent.
+		rs := s.Ranges()
+		for i := range rs {
+			if rs[i].End <= rs[i].Start {
+				return false
+			}
+			if i > 0 && rs[i].Start <= rs[i-1].End {
+				return false
+			}
+		}
+		// Spot-check Contains against the bitmap.
+		for x := uint64(0); x < universe; x += 7 {
+			if s.Contains(x, x+1) != bitmap[x] {
+				return false
+			}
+		}
+		// Gaps + coverage must partition the universe.
+		var gapBytes uint64
+		for _, g := range s.Gaps(0, universe) {
+			gapBytes += g.Len()
+		}
+		return gapBytes+s.CoveredBytes() == universe
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+package quic
+
+// Stream is a QUIC* stream. Reliable streams deliver every byte; unreliable
+// streams (the QUIC* extension) deliver what survives the network, with
+// transport-level loss reported through LOSS_REPORT frames.
+//
+// The API is event-driven to match the discrete-event simulator: receivers
+// register callbacks instead of blocking on Read.
+type Stream struct {
+	conn       *Conn
+	id         uint64
+	unreliable bool
+
+	// send state
+	sendBuf   []byte // bytes not yet packetized
+	sendBase  uint64 // offset of sendBuf[0]
+	finQueued bool   // CloseWrite called
+	finSent   bool
+	finOffset uint64
+
+	// receive state
+	received   RangeSet
+	lost       RangeSet // from LOSS_REPORT frames (unreliable only)
+	finalKnown bool
+	finalSize  uint64
+
+	onData  func(offset uint64, data []byte)
+	onLost  func(offset, length uint64)
+	onFin   func(finalSize uint64)
+	doneFin bool
+}
+
+// ID returns the stream ID. Client-initiated streams are even, server-
+// initiated odd.
+func (s *Stream) ID() uint64 { return s.id }
+
+// Unreliable reports whether this is an unreliable (QUIC*) stream.
+func (s *Stream) Unreliable() bool { return s.unreliable }
+
+// Write queues data for transmission. The data is copied.
+func (s *Stream) Write(data []byte) {
+	if s.finQueued {
+		panic("quic: Write after CloseWrite")
+	}
+	if len(data) == 0 {
+		return
+	}
+	s.sendBuf = append(s.sendBuf, data...)
+	s.conn.markActive(s)
+}
+
+// CloseWrite queues the FIN: no more data will be written.
+func (s *Stream) CloseWrite() {
+	if s.finQueued {
+		return
+	}
+	s.finQueued = true
+	s.conn.markActive(s)
+}
+
+// WriteAt re-queues bytes at a specific offset on an unreliable stream.
+// This is the server-side primitive behind the paper's selective
+// retransmission: the application re-sends ranges the client re-requested.
+// The caller supplies the bytes (the server still has the object).
+func (s *Stream) WriteAt(offset uint64, data []byte) {
+	if !s.unreliable {
+		panic("quic: WriteAt is only for unreliable streams")
+	}
+	if len(data) == 0 {
+		return
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.conn.queueUnreliableRewrite(s, offset, cp)
+}
+
+// OnData registers the receive callback; it fires once per arriving stream
+// frame with that frame's offset and payload. Frames can arrive out of
+// order; duplicate bytes are suppressed.
+func (s *Stream) OnData(fn func(offset uint64, data []byte)) { s.onData = fn }
+
+// OnLost registers the loss callback for unreliable streams; it fires when
+// the peer's transport gives up on a range.
+func (s *Stream) OnLost(fn func(offset, length uint64)) { s.onLost = fn }
+
+// OnFin registers the finalization callback; it fires once the FIN arrived
+// and, for reliable streams, every byte is in — for unreliable streams it
+// fires when every byte is either received or reported lost.
+func (s *Stream) OnFin(fn func(finalSize uint64)) {
+	s.onFin = fn
+	s.maybeFin()
+}
+
+// Received returns the receive-side coverage set (read-only).
+func (s *Stream) Received() *RangeSet { return &s.received }
+
+// Lost returns the ranges reported permanently lost (read-only).
+func (s *Stream) Lost() *RangeSet { return &s.lost }
+
+// FinalSize returns the stream's final size; ok is false until the FIN
+// arrives.
+func (s *Stream) FinalSize() (uint64, bool) { return s.finalSize, s.finalKnown }
+
+// pendingSendBytes reports how much new data (plus FIN) awaits packetizing.
+func (s *Stream) pendingSendBytes() int {
+	n := len(s.sendBuf)
+	if s.finQueued && !s.finSent {
+		n++ // FIN itself needs to ride on a frame
+	}
+	return n
+}
+
+// nextFrame cuts up to maxData bytes of new data into a frame, or returns
+// nil when nothing is pending.
+func (s *Stream) nextFrame(maxData int) *StreamFrame {
+	if maxData <= 0 {
+		return nil
+	}
+	n := len(s.sendBuf)
+	if n == 0 && !(s.finQueued && !s.finSent) {
+		return nil
+	}
+	if n > maxData {
+		n = maxData
+	}
+	data := make([]byte, n)
+	copy(data, s.sendBuf[:n])
+	f := &StreamFrame{
+		StreamID:   s.id,
+		Offset:     s.sendBase,
+		Data:       data,
+		Unreliable: s.unreliable,
+	}
+	s.sendBuf = s.sendBuf[n:]
+	s.sendBase += uint64(n)
+	if s.finQueued && len(s.sendBuf) == 0 && !s.finSent {
+		f.Fin = true
+		s.finSent = true
+		s.finOffset = s.sendBase
+	}
+	return f
+}
+
+// handleData processes an arriving stream frame on the receive side.
+func (s *Stream) handleData(f *StreamFrame) {
+	if len(f.Data) > 0 {
+		start := f.Offset
+		end := f.Offset + uint64(len(f.Data))
+		// Suppress duplicate delivery: only surface sub-ranges not yet seen.
+		gaps := s.received.Gaps(start, end)
+		s.received.Add(start, end)
+		if s.onData != nil {
+			for _, g := range gaps {
+				s.onData(g.Start, f.Data[g.Start-start:g.End-start])
+			}
+		}
+	}
+	if f.Fin {
+		end := f.Offset + uint64(len(f.Data))
+		if !s.finalKnown || end > s.finalSize {
+			s.finalSize = end
+			s.finalKnown = true
+		}
+	}
+	s.maybeFin()
+}
+
+// handleLossReport records a permanent hole on an unreliable stream.
+func (s *Stream) handleLossReport(f *LossReportFrame) {
+	start, end := f.Offset, f.Offset+f.Length
+	// Data that actually arrived (e.g. reordered past the report) wins.
+	for _, g := range s.received.Gaps(start, end) {
+		s.lost.Add(g.Start, g.End)
+		if s.onLost != nil {
+			s.onLost(g.Start, g.End-g.Start)
+		}
+	}
+	s.maybeFin()
+}
+
+// maybeFin fires the fin callback once the stream's fate is fully known.
+func (s *Stream) maybeFin() {
+	if s.doneFin || !s.finalKnown || s.onFin == nil {
+		return
+	}
+	if !s.fullyAccounted() {
+		return
+	}
+	s.doneFin = true
+	s.onFin(s.finalSize)
+}
+
+// fullyAccounted reports whether every byte up to finalSize is either
+// received or (for unreliable streams) reported lost.
+func (s *Stream) fullyAccounted() bool {
+	if !s.finalKnown {
+		return false
+	}
+	if s.finalSize == 0 {
+		return true
+	}
+	var union RangeSet
+	for _, r := range s.received.Ranges() {
+		union.Add(r.Start, r.End)
+	}
+	for _, r := range s.lost.Ranges() {
+		union.Add(r.Start, r.End)
+	}
+	return union.Contains(0, s.finalSize)
+}

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"voxel/internal/dash"
+	"voxel/internal/httpsim"
+	"voxel/internal/netem"
+	"voxel/internal/quic"
+	"voxel/internal/sim"
+	"voxel/internal/trace"
+	"voxel/internal/video"
+)
+
+func fixture(t *testing.T) (*sim.Sim, *httpsim.Client, *VideoServer, *dash.Manifest) {
+	t.Helper()
+	s := sim.New(5)
+	path := netem.NewPath(s, trace.Constant("c", 20e6, 600), 64)
+	cc, sc := quic.NewPair(s, path, quic.Config{}, quic.Config{})
+	v := video.MustLoad("BBB")
+	v.Segments = 3
+	m := dash.Build(v, dash.BuildOptions{Voxel: true, PointsPerSegment: 6})
+	vs, err := New(sc, m, httpsim.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, httpsim.NewClient(cc), vs, m
+}
+
+func TestServesManifest(t *testing.T) {
+	s, client, _, m := fixture(t)
+	resp := client.Get(ManifestPath, nil, false, nil)
+	var body []byte
+	done := false
+	resp.OnBody = func(off int64, data []byte) { body = append(body, data...) }
+	resp.OnComplete = func() { done = true }
+	s.RunUntil(10 * time.Second)
+	if !done || resp.Status != 200 {
+		t.Fatalf("done=%v status=%d", done, resp.Status)
+	}
+	got, err := dash.DecodeMPD(body)
+	if err != nil {
+		t.Fatalf("served manifest does not parse: %v", err)
+	}
+	if got.NumSegments() != m.NumSegments() {
+		t.Fatal("manifest shape lost in transit")
+	}
+}
+
+func TestServesMediaRanges(t *testing.T) {
+	s, client, _, m := fixture(t)
+	seg := m.Segment(12, 1)
+	resp := client.Get(VideoPath(12), httpsim.RangeSpec{{seg.MediaRange[0], seg.MediaRange[1]}}, false, nil)
+	done := false
+	resp.OnComplete = func() { done = true }
+	s.RunUntil(30 * time.Second)
+	if !done || resp.Status != 206 {
+		t.Fatalf("done=%v status=%d", done, resp.Status)
+	}
+	if resp.BytesReceived() != int64(seg.Bytes) {
+		t.Fatalf("received %d, want %d", resp.BytesReceived(), seg.Bytes)
+	}
+}
+
+func TestRejectsUnknownPaths(t *testing.T) {
+	s, client, _, _ := fixture(t)
+	for _, p := range []string{"/nope", "/video/Q99", "/video/Qx"} {
+		resp := client.Get(p, nil, false, nil)
+		done := false
+		resp.OnComplete = func() { done = true }
+		s.RunUntil(s.Now() + 5*time.Second)
+		if !done || resp.Status != 404 {
+			t.Fatalf("%s: done=%v status=%d, want 404", p, done, resp.Status)
+		}
+	}
+}
+
+func TestVideoPathFormat(t *testing.T) {
+	if VideoPath(12) != "/video/Q12" {
+		t.Fatalf("VideoPath(12) = %q", VideoPath(12))
+	}
+	if !strings.HasPrefix(ManifestPath, "/") {
+		t.Fatal("manifest path must be absolute")
+	}
+}

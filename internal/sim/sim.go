@@ -1,0 +1,226 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All VOXEL experiments run on virtual time: the transport, the network
+// emulation, the player, and the cross-traffic generator schedule callbacks
+// on a shared event loop. Two runs with the same seed produce identical
+// results, and simulated minutes complete in real milliseconds.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is virtual time measured as a duration since the start of the
+// simulation. It is kept distinct from time.Time on purpose: there is no
+// wall-clock anchor, and arithmetic on durations is all the kernel needs.
+type Time = time.Duration
+
+// Event is a scheduled callback. Events are ordered by time; ties break by
+// insertion sequence so that scheduling order is deterministic.
+type Event struct {
+	At  Time
+	Fn  func()
+	seq uint64
+	idx int // heap index; -1 once popped or canceled
+}
+
+// Canceled reports whether the event was canceled or already fired.
+func (e *Event) Canceled() bool { return e.idx < 0 && e.Fn == nil }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; everything in a simulation runs on its event loop.
+type Sim struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	nexec  uint64
+	halted bool
+}
+
+// New returns a simulator whose random source is seeded with seed.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Executed returns the number of events executed so far.
+func (s *Sim) Executed() uint64 { return s.nexec }
+
+// Schedule runs fn after delay of virtual time. A negative delay is treated
+// as zero (run as soon as the loop reaches the current instant again).
+func (s *Sim) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// At runs fn at the absolute virtual time t. Times in the past are clamped
+// to now.
+func (s *Sim) At(t Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	e := &Event{At: t, Fn: fn, seq: s.seq}
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Cancel removes a pending event. Canceling an event that already fired or
+// was already canceled is a no-op.
+func (s *Sim) Cancel(e *Event) {
+	if e == nil || e.idx < 0 {
+		return
+	}
+	heap.Remove(&s.queue, e.idx)
+	e.Fn = nil
+	e.idx = -1
+}
+
+// Reschedule moves a pending event to a new absolute time, preserving its
+// callback. If the event already fired it is re-armed.
+func (s *Sim) Reschedule(e *Event, t Time) {
+	if e == nil || e.Fn == nil {
+		return
+	}
+	fn := e.Fn
+	s.Cancel(e)
+	ne := s.At(t, fn)
+	*e = *ne
+}
+
+// Halt stops the event loop after the currently executing event returns.
+func (s *Sim) Halt() { s.halted = true }
+
+// Step executes the next pending event, advancing virtual time to it.
+// It reports whether an event was executed.
+func (s *Sim) Step() bool {
+	if s.halted || len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	if e.At < s.now {
+		panic(fmt.Sprintf("sim: time went backwards: %v < %v", e.At, s.now))
+	}
+	s.now = e.At
+	fn := e.Fn
+	e.Fn = nil
+	s.nexec++
+	fn()
+	return true
+}
+
+// Run executes events until the queue drains or Halt is called.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with At <= deadline, then sets now to deadline
+// (if the queue drained earlier) and returns.
+func (s *Sim) RunUntil(deadline Time) {
+	for !s.halted && len(s.queue) > 0 && s.queue[0].At <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Pending returns the number of scheduled events.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// Timer is a re-armable one-shot timer bound to a simulator, mirroring the
+// shape of time.Timer for transport retransmission deadlines.
+type Timer struct {
+	sim *Sim
+	ev  *Event
+	fn  func()
+}
+
+// NewTimer returns an unarmed timer that will invoke fn when it fires.
+func NewTimer(s *Sim, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: nil timer callback")
+	}
+	return &Timer{sim: s, fn: fn}
+}
+
+// Arm (re)sets the timer to fire after d. Any earlier deadline is replaced.
+func (t *Timer) Arm(d Time) {
+	t.Stop()
+	t.ev = t.sim.Schedule(d, func() {
+		t.ev = nil
+		t.fn()
+	})
+}
+
+// ArmAt (re)sets the timer to fire at absolute time at.
+func (t *Timer) ArmAt(at Time) {
+	t.Stop()
+	t.ev = t.sim.At(at, func() {
+		t.ev = nil
+		t.fn()
+	})
+}
+
+// Stop disarms the timer if it is pending.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.sim.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Armed reports whether the timer is pending.
+func (t *Timer) Armed() bool { return t.ev != nil }
+
+// Deadline returns the pending deadline; ok is false when unarmed.
+func (t *Timer) Deadline() (at Time, ok bool) {
+	if t.ev == nil {
+		return 0, false
+	}
+	return t.ev.At, true
+}

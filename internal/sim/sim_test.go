@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.Schedule(3*time.Millisecond, func() { got = append(got, 3) })
+	s.Schedule(1*time.Millisecond, func() { got = append(got, 1) })
+	s.Schedule(2*time.Millisecond, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if s.Now() != 3*time.Millisecond {
+		t.Fatalf("now = %v, want 3ms", s.Now())
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("same-time events executed out of insertion order: %v", got)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.Schedule(-time.Second, func() { fired = true })
+	s.Run()
+	if !fired || s.Now() != 0 {
+		t.Fatalf("fired=%v now=%v", fired, s.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.Schedule(time.Millisecond, func() { fired = true })
+	s.Cancel(e)
+	s.Cancel(e) // double cancel is a no-op
+	s.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	s := New(1)
+	var got []int
+	var evs []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		evs = append(evs, s.Schedule(time.Duration(i)*time.Millisecond, func() { got = append(got, i) }))
+	}
+	s.Cancel(evs[5])
+	s.Cancel(evs[13])
+	s.Run()
+	if len(got) != 18 {
+		t.Fatalf("got %d events, want 18", len(got))
+	}
+	for _, v := range got {
+		if v == 5 || v == 13 {
+			t.Fatalf("canceled event %d fired", v)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.Schedule(time.Second, func() { got = append(got, 1) })
+	s.Schedule(3*time.Second, func() { got = append(got, 3) })
+	s.RunUntil(2 * time.Second)
+	if len(got) != 1 {
+		t.Fatalf("got %v, want only first event", got)
+	}
+	if s.Now() != 2*time.Second {
+		t.Fatalf("now = %v, want 2s", s.Now())
+	}
+	s.Run()
+	if len(got) != 2 {
+		t.Fatalf("got %v, want both events after Run", got)
+	}
+}
+
+func TestRunUntilDrainedQueueAdvancesClock(t *testing.T) {
+	s := New(1)
+	s.RunUntil(5 * time.Second)
+	if s.Now() != 5*time.Second {
+		t.Fatalf("now = %v, want 5s", s.Now())
+	}
+}
+
+func TestHalt(t *testing.T) {
+	s := New(1)
+	n := 0
+	s.Schedule(1*time.Millisecond, func() { n++; s.Halt() })
+	s.Schedule(2*time.Millisecond, func() { n++ })
+	s.Run()
+	if n != 1 {
+		t.Fatalf("executed %d events after halt, want 1", n)
+	}
+}
+
+func TestEventsScheduledDuringExecution(t *testing.T) {
+	s := New(1)
+	var got []Time
+	s.Schedule(time.Millisecond, func() {
+		s.Schedule(time.Millisecond, func() { got = append(got, s.Now()) })
+	})
+	s.Run()
+	if len(got) != 1 || got[0] != 2*time.Millisecond {
+		t.Fatalf("nested event at %v, want 2ms", got)
+	}
+}
+
+func TestSameInstantScheduledDuringExecutionRuns(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.Schedule(time.Millisecond, func() {
+		s.Schedule(0, func() { ran = true })
+	})
+	s.Run()
+	if !ran {
+		t.Fatal("zero-delay event scheduled mid-execution did not run")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int {
+		s := New(seed)
+		var got []int
+		var rec func(depth int)
+		rec = func(depth int) {
+			got = append(got, int(s.Rand().Int63n(1000)))
+			if depth < 50 {
+				s.Schedule(Time(s.Rand().Int63n(int64(time.Millisecond))), func() { rec(depth + 1) })
+			}
+		}
+		s.Schedule(0, func() { rec(0) })
+		s.Run()
+		return got
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("different lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTimer(t *testing.T) {
+	s := New(1)
+	fires := 0
+	tm := NewTimer(s, func() { fires++ })
+	tm.Arm(time.Second)
+	if !tm.Armed() {
+		t.Fatal("timer should be armed")
+	}
+	tm.Arm(2 * time.Second) // re-arm replaces
+	s.Run()
+	if fires != 1 {
+		t.Fatalf("fires = %d, want 1", fires)
+	}
+	if s.Now() != 2*time.Second {
+		t.Fatalf("now = %v, want 2s (re-armed deadline)", s.Now())
+	}
+	tm.Arm(time.Second)
+	tm.Stop()
+	s.Run()
+	if fires != 1 {
+		t.Fatalf("stopped timer fired; fires = %d", fires)
+	}
+}
+
+func TestTimerDeadline(t *testing.T) {
+	s := New(1)
+	tm := NewTimer(s, func() {})
+	if _, ok := tm.Deadline(); ok {
+		t.Fatal("unarmed timer reports a deadline")
+	}
+	tm.ArmAt(7 * time.Second)
+	at, ok := tm.Deadline()
+	if !ok || at != 7*time.Second {
+		t.Fatalf("deadline = %v,%v want 7s,true", at, ok)
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and the clock ends at the maximum delay.
+func TestPropertyEventOrder(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		s := New(7)
+		var fired []Time
+		var max Time
+		for _, r := range raw {
+			d := Time(r % 1e9)
+			if d > max {
+				max = d
+			}
+			s.Schedule(d, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return s.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: canceling a random subset leaves exactly the others to fire.
+func TestPropertyCancelSubset(t *testing.T) {
+	f := func(n uint8, mask uint64) bool {
+		count := int(n%64) + 1
+		s := New(3)
+		fired := make([]bool, count)
+		evs := make([]*Event, count)
+		for i := 0; i < count; i++ {
+			i := i
+			evs[i] = s.Schedule(Time(i)*time.Millisecond, func() { fired[i] = true })
+		}
+		for i := 0; i < count; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				s.Cancel(evs[i])
+			}
+		}
+		s.Run()
+		for i := 0; i < count; i++ {
+			want := mask&(1<<uint(i)) == 0
+			if fired[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	s := New(1)
+	b.ReportAllocs()
+	var next func()
+	remaining := b.N
+	next = func() {
+		if remaining > 0 {
+			remaining--
+			s.Schedule(time.Microsecond, next)
+		}
+	}
+	s.Schedule(0, next)
+	s.Run()
+}

@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almostEqual(m, 5, 1e-12) {
+		t.Fatalf("mean = %v, want 5", m)
+	}
+	// sample stddev of this classic set is sqrt(32/7)
+	if sd := StdDev(xs); !almostEqual(sd, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("stddev = %v", sd)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdErr(nil) != 0 {
+		t.Fatal("empty aggregates should be 0")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty min/max should be 0")
+	}
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Fatal("empty summary should have N=0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {90, 4.6}, {-5, 1}, {110, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Percentile(xs, 50)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s := Summarize(xs)
+	if s.N != 101 || s.Median != 50 || s.P90 != 90 || s.Min != 0 || s.Max != 100 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if !almostEqual(s.Mean, 50, 1e-9) {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if q := c.Quantile(0.5); !almostEqual(q, 2, 1e-12) {
+		t.Fatalf("median = %v, want 2", q)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("got %d points, want 5", len(pts))
+	}
+	if pts[0][0] != 1 || pts[4][0] != 10 {
+		t.Fatalf("extremes not included: %v", pts)
+	}
+	if pts[4][1] != 1 {
+		t.Fatalf("last CDF value = %v, want 1", pts[4][1])
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3})
+	s := c.Sparkline(0, 4, 20)
+	if len(s) != 20 {
+		t.Fatalf("sparkline width = %d, want 20", len(s))
+	}
+	if c.Sparkline(4, 0, 20) != "" {
+		t.Fatal("inverted range should yield empty sparkline")
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, p1, p2 float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i := range raw {
+			if math.IsNaN(raw[i]) || math.IsInf(raw[i], 0) {
+				raw[i] = 0
+			}
+		}
+		p1 = math.Abs(math.Mod(p1, 100))
+		p2 = math.Abs(math.Mod(p2, 100))
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		lo, hi := Percentile(raw, p1), Percentile(raw, p2)
+		return lo <= hi && lo >= Min(raw) && hi <= Max(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CDF is monotone nondecreasing and hits 1 at the max.
+func TestPropertyCDFMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i := range raw {
+			if math.IsNaN(raw[i]) || math.IsInf(raw[i], 0) {
+				raw[i] = 0
+			}
+		}
+		c := NewCDF(raw)
+		sorted := append([]float64(nil), raw...)
+		sort.Float64s(sorted)
+		prev := 0.0
+		for _, x := range sorted {
+			p := c.At(x)
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return almostEqual(c.At(Max(raw)), 1, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(12))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mean lies within [min, max].
+func TestPropertyMeanBounded(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i := range raw {
+			if math.IsNaN(raw[i]) || math.IsInf(raw[i], 0) {
+				raw[i] = 1
+			}
+			// keep magnitudes sane to avoid float overflow artifacts
+			raw[i] = math.Mod(raw[i], 1e6)
+		}
+		m := Mean(raw)
+		return m >= Min(raw)-1e-6 && m <= Max(raw)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(13))}); err != nil {
+		t.Fatal(err)
+	}
+}

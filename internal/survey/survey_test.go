@@ -1,0 +1,97 @@
+package survey
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRateBounds(t *testing.T) {
+	worst := Rate(Clip{BufRatio: 1, MeanScore: 0, ScoreStdDev: 1, ArtifactFraction: 1})
+	best := Rate(Clip{BufRatio: 0, MeanScore: 1})
+	for _, m := range []float64{worst.Clarity, worst.Glitches, worst.Fluidity, worst.Experience,
+		best.Clarity, best.Glitches, best.Fluidity, best.Experience} {
+		if m < 1 || m > 5 {
+			t.Fatalf("MOS %v out of 1–5", m)
+		}
+	}
+	if best.Experience <= worst.Experience {
+		t.Fatal("a perfect clip must beat a terrible one")
+	}
+}
+
+func TestFluidityPunishesRebuffering(t *testing.T) {
+	smooth := Rate(Clip{BufRatio: 0, MeanScore: 0.9})
+	stally := Rate(Clip{BufRatio: 0.15, MeanScore: 0.9})
+	if stally.Fluidity >= smooth.Fluidity-1 {
+		t.Fatalf("fluidity barely reacts to 15%% stalls: %.2f vs %.2f",
+			stally.Fluidity, smooth.Fluidity)
+	}
+}
+
+func TestClarityTracksScore(t *testing.T) {
+	hi := Rate(Clip{MeanScore: 0.97})
+	lo := Rate(Clip{MeanScore: 0.85})
+	if hi.Clarity <= lo.Clarity {
+		t.Fatal("clarity must increase with SSIM")
+	}
+}
+
+func TestPaperStudyOutcome(t *testing.T) {
+	// Feeding the calibrated clip statistics, the panel should land near
+	// the published §5.3 outcomes.
+	bola, voxel := PaperClips()
+	out := NewPanel(54, 53).Evaluate(bola, voxel)
+	if out.Users != 54 {
+		t.Fatalf("users %d", out.Users)
+	}
+	if out.PreferB < 0.70 || out.PreferB > 0.97 {
+		t.Errorf("preference for VOXEL %.2f, paper: 0.84", out.PreferB)
+	}
+	dFluid := out.MeanB.Fluidity - out.MeanA.Fluidity
+	if dFluid < 0.9 || dFluid > 2.6 {
+		t.Errorf("fluidity delta %.2f, paper: +1.7", dFluid)
+	}
+	dClarity := out.MeanB.Clarity - out.MeanA.Clarity
+	if dClarity > 0.1 {
+		t.Errorf("clarity delta %.2f, paper: −0.49 (VOXEL trades a bit of clarity)", dClarity)
+	}
+	dOverall := out.MeanB.Experience - out.MeanA.Experience
+	if dOverall < 0.3 || dOverall > 1.4 {
+		t.Errorf("overall delta %.2f, paper: +0.77", dOverall)
+	}
+	if out.WouldStopA <= out.WouldStopB {
+		t.Errorf("more users should stop BOLA streams: %.2f vs %.2f",
+			out.WouldStopA, out.WouldStopB)
+	}
+	if out.WouldNotWatchA <= out.WouldNotWatchB {
+		t.Errorf("more users should refuse longer BOLA streams: %.2f vs %.2f",
+			out.WouldNotWatchA, out.WouldNotWatchB)
+	}
+}
+
+func TestPanelDeterministic(t *testing.T) {
+	bola, voxel := PaperClips()
+	a := NewPanel(54, 7).Evaluate(bola, voxel)
+	b := NewPanel(54, 7).Evaluate(bola, voxel)
+	if a != b {
+		t.Fatal("panel evaluation not deterministic")
+	}
+	c := NewPanel(54, 8).Evaluate(bola, voxel)
+	if a == c {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestIdenticalClipsNearFiftyFifty(t *testing.T) {
+	clip := Clip{BufRatio: 0.02, MeanScore: 0.93, ScoreStdDev: 0.02}
+	out := NewPanel(2000, 3).Evaluate(clip, clip)
+	if math.Abs(out.PreferB-0.5) > 0.06 {
+		t.Fatalf("identical clips: preference %.3f, want ≈0.5", out.PreferB)
+	}
+}
+
+func TestDefaultPanelSize(t *testing.T) {
+	if NewPanel(0, 1).n != 54 {
+		t.Fatal("default panel should be the paper's 54 users")
+	}
+}

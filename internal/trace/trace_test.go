@@ -1,0 +1,214 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRateAtWraps(t *testing.T) {
+	tr := New("t", []float64{1, 2, 3})
+	if got := tr.RateAt(0); got != 1 {
+		t.Fatalf("RateAt(0) = %v", got)
+	}
+	if got := tr.RateAt(2 * time.Second); got != 3 {
+		t.Fatalf("RateAt(2s) = %v", got)
+	}
+	if got := tr.RateAt(3 * time.Second); got != 1 {
+		t.Fatalf("RateAt(3s) should wrap, got %v", got)
+	}
+	if got := tr.RateAt(-time.Second); got != 1 {
+		t.Fatalf("negative time should clamp, got %v", got)
+	}
+}
+
+func TestShifted(t *testing.T) {
+	tr := New("t", []float64{1, 2, 3, 4})
+	sh := tr.Shifted(2 * time.Second)
+	want := []float64{3, 4, 1, 2}
+	for i, w := range want {
+		if got := sh.Samples()[i]; got != w {
+			t.Fatalf("shifted[%d] = %v, want %v", i, got, w)
+		}
+	}
+	// Shifting by the full duration is identity.
+	id := tr.Shifted(4 * time.Second)
+	for i, w := range tr.Samples() {
+		if id.Samples()[i] != w {
+			t.Fatalf("full-duration shift not identity at %d", i)
+		}
+	}
+}
+
+func TestOffsetToMean(t *testing.T) {
+	tr := New("t", []float64{1e6, 3e6})
+	off := tr.OffsetToMean(10e6)
+	if m := off.Mean(); math.Abs(m-10e6) > 1 {
+		t.Fatalf("mean after offset = %v, want 10e6", m)
+	}
+	// Variations are preserved (stddev unchanged) when no clamping occurs.
+	if math.Abs(off.StdDev()-tr.StdDev()) > 1 {
+		t.Fatalf("stddev changed: %v vs %v", off.StdDev(), tr.StdDev())
+	}
+}
+
+func TestOffsetClampsAtFloor(t *testing.T) {
+	tr := New("t", []float64{1e6, 100e6})
+	off := tr.OffsetToMean(2e6)
+	for _, v := range off.Samples() {
+		if v < minRate {
+			t.Fatalf("sample %v below floor", v)
+		}
+	}
+}
+
+func TestCanonicalTraceStatistics(t *testing.T) {
+	cases := []struct {
+		tr         *Trace
+		meanMbps   float64
+		sdLo, sdHi float64
+	}{
+		{TMobile(), 10, 7.5, 12},
+		{Verizon(), 10, 7.5, 12},
+		{ATT(), 10, 2.0, 4.0},
+		{Norway3G(), 10, 0.6, 1.7},
+		{FCC(), 10, 1.6, 3.2},
+	}
+	for _, c := range cases {
+		m := c.tr.Mean() / Mbps
+		sd := c.tr.StdDev() / Mbps
+		if math.Abs(m-c.meanMbps) > 0.2 {
+			t.Errorf("%s: mean = %.2f Mbps, want ≈%v", c.tr.Name(), m, c.meanMbps)
+		}
+		if sd < c.sdLo || sd > c.sdHi {
+			t.Errorf("%s: stddev = %.2f Mbps, want in [%v,%v]", c.tr.Name(), sd, c.sdLo, c.sdHi)
+		}
+	}
+}
+
+func TestVariabilityOrdering(t *testing.T) {
+	// The paper: T-Mobile and Verizon are "highly varying"; AT&T, FCC, 3G less so.
+	if TMobile().StdDev() <= ATT().StdDev() {
+		t.Error("T-Mobile should vary more than AT&T")
+	}
+	if Verizon().StdDev() <= FCC().StdDev() {
+		t.Error("Verizon should vary more than FCC")
+	}
+	if ATT().StdDev() <= Norway3G().StdDev() {
+		t.Error("AT&T should vary more than 3G")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := TMobile(), TMobile()
+	for i := range a.Samples() {
+		if a.Samples()[i] != b.Samples()[i] {
+			t.Fatal("trace generation is not deterministic")
+		}
+	}
+}
+
+func TestRiiser3GSet(t *testing.T) {
+	set := Riiser3GSet(86)
+	if len(set) != 86 {
+		t.Fatalf("got %d traces, want 86", len(set))
+	}
+	seen := map[string]bool{}
+	var lowMean int
+	for _, tr := range set {
+		if seen[tr.Name()] {
+			t.Fatalf("duplicate trace name %s", tr.Name())
+		}
+		seen[tr.Name()] = true
+		if tr.Mean() < 6.5*Mbps {
+			lowMean++
+		}
+	}
+	if lowMean != 86 {
+		t.Fatalf("expected all 3G traces to have low mean, got %d/86", lowMean)
+	}
+	// Distinct traces: different seeds should give different series.
+	if set[0].Samples()[0] == set[1].Samples()[0] && set[0].Samples()[1] == set[1].Samples()[1] {
+		t.Error("3G traces look identical")
+	}
+}
+
+func TestConstantAndStep(t *testing.T) {
+	c := Constant("c", 10.5*Mbps, 30)
+	for _, v := range c.Samples() {
+		if v != 10.5*Mbps {
+			t.Fatalf("constant trace has sample %v", v)
+		}
+	}
+	s := Step("s", 10.75*Mbps, 10.5*Mbps, 70*time.Second, 300)
+	if s.RateAt(69*time.Second) != 10.75*Mbps {
+		t.Fatal("before step wrong")
+	}
+	if s.RateAt(70*time.Second) != 10.5*Mbps {
+		t.Fatal("after step wrong")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range Names() {
+		tr, err := ByName(n)
+		if err != nil || tr == nil {
+			t.Fatalf("ByName(%q) failed: %v", n, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown trace")
+	}
+}
+
+func TestEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty trace")
+		}
+	}()
+	New("x", nil)
+}
+
+// Property: Shifted preserves the multiset of samples (hence mean/stddev).
+func TestPropertyShiftPreservesMean(t *testing.T) {
+	f := func(raw []float64, k uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i := range raw {
+			if math.IsNaN(raw[i]) || math.IsInf(raw[i], 0) {
+				raw[i] = 1
+			}
+			raw[i] = math.Abs(math.Mod(raw[i], 1e8))
+		}
+		tr := New("p", raw)
+		sh := tr.Shifted(time.Duration(k) * time.Second)
+		return math.Abs(tr.Mean()-sh.Mean()) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RateAt is periodic with period Duration.
+func TestPropertyPeriodicity(t *testing.T) {
+	f := func(raw []float64, q uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i := range raw {
+			if math.IsNaN(raw[i]) || math.IsInf(raw[i], 0) {
+				raw[i] = 1
+			}
+		}
+		tr := New("p", raw)
+		at := time.Duration(q%10000) * time.Millisecond
+		return tr.RateAt(at) == tr.RateAt(at+tr.Duration())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(6))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+package voxel
+
+import (
+	"fmt"
+
+	"voxel/internal/dash"
+	"voxel/internal/exp"
+	"voxel/internal/prep"
+	"voxel/internal/qoe"
+	"voxel/internal/stats"
+	"voxel/internal/survey"
+	"voxel/internal/trace"
+	"voxel/internal/video"
+)
+
+// Re-exported domain types, so library consumers work with one import.
+type (
+	// Video is a title with its deterministic segment synthesizer.
+	Video = video.Video
+	// Quality indexes the Tab. 2 bitrate ladder (Q0–Q12).
+	Quality = video.Quality
+	// Segment is one 4-second piece of a title at one quality.
+	Segment = video.Segment
+	// Manifest is the (optionally VOXEL-enriched) DASH MPD.
+	Manifest = dash.Manifest
+	// Metric selects the QoE metric (SSIM, VMAF, PSNR).
+	Metric = qoe.Metric
+	// Trace is a bandwidth trace.
+	Trace = trace.Trace
+	// System names a full client configuration (ABR + transport).
+	System = exp.System
+	// Config specifies one experiment cell.
+	Config = exp.Config
+	// Aggregate holds the trials of one experiment cell.
+	Aggregate = exp.Aggregate
+	// Plan is the offline per-segment analysis result.
+	Plan = prep.Plan
+	// Summary is a sample summary (mean, percentiles, ...).
+	Summary = stats.Summary
+)
+
+// QoE metrics.
+const (
+	SSIM = qoe.SSIM
+	VMAF = qoe.VMAF
+	PSNR = qoe.PSNR
+)
+
+// The systems compared throughout the evaluation.
+const (
+	BOLA         = exp.SysBolaQ
+	BOLAQuicStar = exp.SysBolaQStar
+	MPC          = exp.SysMPCQ
+	MPCQuicStar  = exp.SysMPCQStar
+	Tput         = exp.SysTputQ
+	BETA         = exp.SysBeta
+	BOLASSIM     = exp.SysBolaSSIM
+	VOXEL        = exp.SysVoxel
+	VOXELRel     = exp.SysVoxelRel
+	VOXELUntuned = exp.SysVoxelUntuned
+)
+
+// LoadVideo loads a catalog title (BBB, ED, Sintel, ToS, P1–P10).
+func LoadVideo(name string) (*Video, error) { return video.Load(name) }
+
+// Titles lists the four canonical evaluation titles.
+func Titles() []string { return video.TestTitles() }
+
+// YouTubeTitles lists the ten Tab. 3 clips.
+func YouTubeTitles() []string { return video.YouTubeTitles() }
+
+// LoadTrace resolves a canonical trace by name: tmobile, verizon, att, 3g,
+// fcc, wild.
+func LoadTrace(name string) (*Trace, error) { return trace.ByName(name) }
+
+// TraceNames lists the canonical trace names.
+func TraceNames() []string { return trace.Names() }
+
+// PrepareManifest runs the §4.1 offline analysis for a title and returns
+// the enriched manifest (pointsPerSegment ≤ 0 keeps the full QoE curves).
+func PrepareManifest(v *Video, metric Metric, pointsPerSegment int) *Manifest {
+	a := prep.NewAnalyzer()
+	a.Metric = metric
+	return dash.Build(v, dash.BuildOptions{
+		Voxel:            true,
+		PointsPerSegment: pointsPerSegment,
+		Analyzer:         a,
+	})
+}
+
+// AnalyzeSegment runs the offline frame-ranking analysis for one segment
+// against a lower-bound score.
+func AnalyzeSegment(s *Segment, lowerBound float64) Plan {
+	return prep.NewAnalyzer().Analyze(s, lowerBound)
+}
+
+// DropTolerance returns, per segment of the title at quality q, the
+// maximum fraction of frames droppable (under the inbound-reference
+// ranking) while the SSIM stays at or above target — the Fig. 1 curves.
+func DropTolerance(v *Video, q Quality, target float64) []float64 {
+	a := prep.NewAnalyzer()
+	out := make([]float64, v.Segments)
+	for i := range out {
+		out[i] = a.MaxDropFraction(v.Segment(i, q), prep.OrderByInboundRefs, target)
+	}
+	return out
+}
+
+// Stream runs a full streaming experiment (all trials) and returns the
+// aggregate. It is the one-call entry point the examples use.
+func Stream(cfg Config) (*Aggregate, error) {
+	if cfg.Title == "" {
+		return nil, fmt.Errorf("voxel: missing title")
+	}
+	if cfg.System == "" {
+		cfg.System = VOXEL
+	}
+	return exp.Run(cfg), nil
+}
+
+// Summarize computes summary statistics of a sample.
+func Summarize(xs []float64) Summary { return stats.Summarize(xs) }
+
+// RunSurvey evaluates the §5.3 user-study model on two streamed outcomes.
+func RunSurvey(users int, seed int64, baseline, voxelClip survey.Clip) survey.Outcome {
+	return survey.NewPanel(users, seed).Evaluate(baseline, voxelClip)
+}
+
+// ClipFromAggregate derives survey-clip statistics from an experiment.
+func ClipFromAggregate(a *Aggregate) survey.Clip {
+	scores := a.AllScores
+	return survey.Clip{
+		BufRatio:         stats.Mean(a.BufRatios),
+		MeanScore:        stats.Mean(scores),
+		ScoreStdDev:      stats.StdDev(scores),
+		ArtifactFraction: residualMean(a),
+	}
+}
+
+func residualMean(a *Aggregate) float64 {
+	var xs []float64
+	for _, t := range a.Trials {
+		xs = append(xs, t.Residual)
+	}
+	return stats.Mean(xs)
+}

@@ -1,0 +1,100 @@
+package voxel
+
+import (
+	"testing"
+
+	"voxel/internal/survey"
+)
+
+func TestLoadVideoFacade(t *testing.T) {
+	v, err := LoadVideo("BBB")
+	if err != nil || v.Title != "BBB" {
+		t.Fatalf("LoadVideo: %v", err)
+	}
+	if _, err := LoadVideo("nope"); err == nil {
+		t.Fatal("unknown title should fail")
+	}
+	if len(Titles()) != 4 || len(YouTubeTitles()) != 10 {
+		t.Fatal("catalog sizes wrong")
+	}
+}
+
+func TestLoadTraceFacade(t *testing.T) {
+	for _, n := range TraceNames() {
+		if _, err := LoadTrace(n); err != nil {
+			t.Fatalf("LoadTrace(%s): %v", n, err)
+		}
+	}
+}
+
+func TestPrepareManifestFacade(t *testing.T) {
+	v, _ := LoadVideo("ToS")
+	v.Segments = 3
+	m := PrepareManifest(v, SSIM, 8)
+	if m.NumSegments() != 3 {
+		t.Fatalf("segments %d", m.NumSegments())
+	}
+	if !m.Segment(12, 0).Voxel() {
+		t.Fatal("manifest should be enriched")
+	}
+}
+
+func TestDropToleranceFacade(t *testing.T) {
+	v, _ := LoadVideo("P9")
+	v.Segments = 5
+	tol := DropTolerance(v, 12, 0.99)
+	if len(tol) != 5 {
+		t.Fatalf("%d entries", len(tol))
+	}
+	for _, x := range tol {
+		if x < 0 || x > 1 {
+			t.Fatalf("tolerance %v out of range", x)
+		}
+	}
+}
+
+func TestStreamFacade(t *testing.T) {
+	tr, _ := LoadTrace("verizon")
+	agg, err := Stream(Config{
+		Title:          "BBB",
+		System:         VOXEL,
+		Trace:          tr,
+		BufferSegments: 2,
+		Trials:         1,
+		Segments:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.Trials) != 1 || !agg.Trials[0].Completed {
+		t.Fatal("stream did not complete")
+	}
+	sum := Summarize(agg.BufRatios)
+	if sum.N != 1 {
+		t.Fatal("summary wrong")
+	}
+	if _, err := Stream(Config{}); err == nil {
+		t.Fatal("missing title should fail")
+	}
+}
+
+func TestSurveyFacade(t *testing.T) {
+	b, v := survey.PaperClips()
+	out := RunSurvey(54, 1, b, v)
+	if out.PreferB <= 0.5 {
+		t.Fatalf("preference %v", out.PreferB)
+	}
+}
+
+func TestClipFromAggregate(t *testing.T) {
+	tr, _ := LoadTrace("3g")
+	agg, err := Stream(Config{Title: "ToS", System: BOLA, Trace: tr,
+		BufferSegments: 1, Trials: 1, Segments: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ClipFromAggregate(agg)
+	if c.MeanScore <= 0 || c.MeanScore > 1 {
+		t.Fatalf("clip score %v", c.MeanScore)
+	}
+}
