@@ -19,14 +19,16 @@ import (
 var (
 	benchTrials   = flag.Int("figtrials", 0, "trials per experiment cell in figure benchmarks (0 = quick default)")
 	benchSegments = flag.Int("figsegments", 0, "segments per clip in figure benchmarks (0 = quick default)")
+	benchParallel = flag.Int("figparallel", 1, "concurrent trial workers in figure benchmarks (negative = GOMAXPROCS); tables are identical at any setting")
 )
 
 func benchParams() figures.Params {
 	return figures.Params{
-		Quick:    true,
-		Trials:   *benchTrials,
-		Segments: *benchSegments,
-		Seed:     1,
+		Quick:       true,
+		Trials:      *benchTrials,
+		Segments:    *benchSegments,
+		Seed:        1,
+		Parallelism: *benchParallel,
 	}.Defaults()
 }
 

@@ -1,13 +1,15 @@
 // Command voxel-bench regenerates every table and figure of the paper's
 // evaluation and prints them (optionally writing a Markdown results file
 // consumed by EXPERIMENTS.md). Scale with -trials and -segments; the paper
-// used 30 trials over 75-segment clips.
+// used 30 trials over 75-segment clips. -parallel fans trials out across
+// worker goroutines; results are bit-identical at any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -18,9 +20,11 @@ func main() {
 	trials := flag.Int("trials", 5, "trials per experiment cell (paper: 30)")
 	segments := flag.Int("segments", 25, "segments per clip (paper: 75)")
 	quick := flag.Bool("quick", false, "reduced sweeps (fewer videos/buffers)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"concurrent trial workers per exhibit (1 = sequential; results are identical either way)")
 	only := flag.String("only", "", "comma-separated exhibit IDs (e.g. Fig6,Fig10)")
 	list := flag.Bool("list", false, "list exhibit IDs and exit")
-	out := flag.String("out", "", "also write the tables to this Markdown file")
+	out := flag.String("out", "", "also write the tables to this Markdown file (flushed after each exhibit)")
 	flag.Parse()
 
 	if *list {
@@ -31,10 +35,11 @@ func main() {
 	}
 
 	params := figures.Params{
-		Trials:   *trials,
-		Segments: *segments,
-		Quick:    *quick,
-		Seed:     1,
+		Trials:      *trials,
+		Segments:    *segments,
+		Quick:       *quick,
+		Seed:        1,
+		Parallelism: *parallel,
 	}.Defaults()
 
 	var selected []figures.Generator
@@ -51,9 +56,30 @@ func main() {
 		selected = figures.All()
 	}
 
-	var md strings.Builder
-	fmt.Fprintf(&md, "# voxel-bench results\n\ntrials=%d segments=%d quick=%v generated=%s\n\n",
-		params.Trials, params.Segments, params.Quick, time.Now().UTC().Format(time.RFC3339))
+	// Open the results file up front and flush after every exhibit, so an
+	// interrupt or panic mid-sweep keeps everything finished so far.
+	var outFile *os.File
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "voxel-bench:", err)
+			os.Exit(1)
+		}
+		outFile = f
+	}
+	emit := func(s string) {
+		if outFile == nil {
+			return
+		}
+		if _, err := outFile.WriteString(s); err != nil {
+			fmt.Fprintln(os.Stderr, "voxel-bench:", err)
+			os.Exit(1)
+		}
+		outFile.Sync()
+	}
+	emit(fmt.Sprintf("# voxel-bench results\n\ntrials=%d segments=%d quick=%v parallel=%d generated=%s\n\n",
+		params.Trials, params.Segments, params.Quick, params.Parallelism,
+		time.Now().UTC().Format(time.RFC3339)))
 
 	start := time.Now()
 	for _, g := range selected {
@@ -61,12 +87,14 @@ func main() {
 		tab := g.Run(params)
 		fmt.Print(tab.String())
 		fmt.Printf("   [%s in %v]\n\n", g.ID, time.Since(t0).Round(time.Millisecond))
-		writeMarkdown(&md, tab)
+		var b strings.Builder
+		writeMarkdown(&b, tab)
+		emit(b.String())
 	}
 	fmt.Printf("total: %v\n", time.Since(start).Round(time.Second))
 
-	if *out != "" {
-		if err := os.WriteFile(*out, []byte(md.String()), 0o644); err != nil {
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "voxel-bench:", err)
 			os.Exit(1)
 		}
@@ -77,7 +105,7 @@ func main() {
 func writeMarkdown(b *strings.Builder, t *figures.Table) {
 	fmt.Fprintf(b, "## %s — %s\n\n", t.ID, t.Title)
 	fmt.Fprintf(b, "| %s |\n", strings.Join(t.Header, " | "))
-	fmt.Fprintf(b, "|%s|\n", strings.Repeat("---|", len(t.Header)))
+	fmt.Fprintf(b, "|%s\n", strings.Repeat("---|", len(t.Header)))
 	for _, r := range t.Rows {
 		fmt.Fprintf(b, "| %s |\n", strings.Join(r, " | "))
 	}

@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"voxel/internal/exp"
 	"voxel/internal/qoe"
@@ -26,6 +27,8 @@ func main() {
 	queue := flag.Int("queue", 32, "router queue in packets (750 = long-queue appendix)")
 	cross := flag.Float64("cross", 0, "cross-traffic load in Mbps over a 20 Mbps link (replaces the trace)")
 	seed := flag.Int64("seed", 1, "random seed")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"concurrent trial workers (1 = sequential; results are identical either way)")
 	flag.Parse()
 
 	var metric qoe.Metric
@@ -49,6 +52,7 @@ func main() {
 		Metric:         metric,
 		QueuePackets:   *queue,
 		Seed:           *seed,
+		Parallelism:    *parallel,
 	}
 	if *cross > 0 {
 		cfg.CrossTraffic = *cross * 1e6

@@ -7,6 +7,7 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -68,6 +69,12 @@ type Config struct {
 	// what the paper's QUIC* inherits) or "bbr" (the delay-based control
 	// Appendix B names as future work).
 	CC string
+	// Parallelism is the number of worker goroutines trials fan out across
+	// (and, via RunMatrix, (system, trial) pairs). 0 and 1 run sequentially;
+	// negative means GOMAXPROCS. Each trial owns its own simulated world, and
+	// results are written by trial index, so aggregates are bit-identical to
+	// the sequential output for the same seed at any setting.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +91,17 @@ func (c Config) withDefaults() Config {
 		c.Seed = 1
 	}
 	return c
+}
+
+// workers resolves the Parallelism knob to a concrete worker count.
+func (c Config) workers() int {
+	if c.Parallelism < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if c.Parallelism == 0 {
+		return 1
+	}
+	return c.Parallelism
 }
 
 // Trial is one playback run's summary.
@@ -154,51 +172,115 @@ func newAlgorithm(sys System) (abr.Algorithm, player.Mode, bool) {
 	}
 }
 
-// manifest cache: prep is a one-time offline cost (§4.1), so share it.
+// manifest cache: prep is a one-time offline cost (§4.1), so share it. Each
+// key carries its own sync.Once so concurrent trials only wait on same-key
+// builds — a build for (BBB, SSIM) never blocks a cache hit for (ToS, VMAF).
+type manEntry struct {
+	once sync.Once
+	m    *dash.Manifest
+}
+
 var (
 	manMu    sync.Mutex
-	manCache = map[string]*dash.Manifest{}
+	manCache = map[string]*manEntry{}
 )
 
 // ManifestFor returns the enriched manifest for (title, metric, segments),
-// cached across experiments.
+// cached across experiments. Concurrent callers with the same key share one
+// build; callers with different keys never block each other.
 func ManifestFor(title string, metric qoe.Metric, segments int) *dash.Manifest {
 	key := fmt.Sprintf("%s/%v/%d", title, metric, segments)
 	manMu.Lock()
-	defer manMu.Unlock()
-	if m, ok := manCache[key]; ok {
-		return m
+	e, ok := manCache[key]
+	if !ok {
+		e = &manEntry{}
+		manCache[key] = e
 	}
-	v := video.MustLoad(title)
-	if segments > 0 && segments < v.Segments {
-		v.Segments = segments
-	}
-	a := prep.NewAnalyzer()
-	a.Metric = metric
-	m := dash.Build(v, dash.BuildOptions{Voxel: true, PointsPerSegment: 12, Analyzer: a})
-	manCache[key] = m
-	return m
+	manMu.Unlock()
+	e.once.Do(func() {
+		v := video.MustLoad(title)
+		if segments > 0 && segments < v.Segments {
+			v.Segments = segments
+		}
+		a := prep.NewAnalyzer()
+		a.Metric = metric
+		e.m = dash.Build(v, dash.BuildOptions{Voxel: true, PointsPerSegment: 12, Analyzer: a})
+	})
+	return e.m
 }
 
-// Run executes all trials of a configuration.
+// Run executes all trials of a configuration, fanning them out across
+// cfg.Parallelism workers. Trials are independent by construction (each owns
+// its own sim.New world), and results land by trial index, so the aggregate
+// is bit-identical to a sequential run.
 func Run(cfg Config) *Aggregate {
-	cfg = cfg.withDefaults()
-	agg := &Aggregate{Config: cfg}
-	man := ManifestFor(cfg.Title, cfg.Metric, cfg.Segments)
-	dur := man.Duration()
-	for i := 0; i < cfg.Trials; i++ {
-		shift := time.Duration(0)
-		if cfg.Trace != nil && cfg.Trials > 1 {
-			shift = cfg.Trace.Duration() * time.Duration(i) / time.Duration(cfg.Trials)
-		}
-		tr := runTrial(cfg, man, shift, cfg.Seed+int64(i)*7919)
-		agg.Trials = append(agg.Trials, tr)
-		agg.BufRatios = append(agg.BufRatios, tr.BufRatio)
-		agg.Bitrates = append(agg.Bitrates, tr.AvgBitrate)
-		agg.AllScores = append(agg.AllScores, tr.Scores...)
-		_ = dur
+	return runConfigs([]Config{cfg}, cfg.workers())[0]
+}
+
+// job addresses one (config, trial) cell in a batch.
+type job struct{ cfg, trial int }
+
+// runConfigs executes every trial of every configuration through one shared
+// worker pool, so RunMatrix saturates the pool even when individual configs
+// have few trials. Trial results are written into per-config slices by index;
+// aggregation then replays the sequential order exactly.
+func runConfigs(cfgs []Config, workers int) []*Aggregate {
+	for i := range cfgs {
+		cfgs[i] = cfgs[i].withDefaults()
 	}
-	return agg
+	trials := make([][]Trial, len(cfgs))
+	var jobs []job
+	for ci, c := range cfgs {
+		trials[ci] = make([]Trial, c.Trials)
+		for ti := 0; ti < c.Trials; ti++ {
+			jobs = append(jobs, job{ci, ti})
+		}
+	}
+	runOne := func(j job) {
+		c := cfgs[j.cfg]
+		man := ManifestFor(c.Title, c.Metric, c.Segments)
+		shift := time.Duration(0)
+		if c.Trace != nil && c.Trials > 1 {
+			shift = c.Trace.Duration() * time.Duration(j.trial) / time.Duration(c.Trials)
+		}
+		trials[j.cfg][j.trial] = runTrial(c, man, shift, c.Seed+int64(j.trial)*7919)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			runOne(j)
+		}
+	} else {
+		ch := make(chan job)
+		var wg sync.WaitGroup
+		for k := 0; k < workers; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range ch {
+					runOne(j)
+				}
+			}()
+		}
+		for _, j := range jobs {
+			ch <- j
+		}
+		close(ch)
+		wg.Wait()
+	}
+	out := make([]*Aggregate, len(cfgs))
+	for ci, c := range cfgs {
+		agg := &Aggregate{Config: c, Trials: trials[ci]}
+		for _, tr := range trials[ci] {
+			agg.BufRatios = append(agg.BufRatios, tr.BufRatio)
+			agg.Bitrates = append(agg.Bitrates, tr.AvgBitrate)
+			agg.AllScores = append(agg.AllScores, tr.Scores...)
+		}
+		out[ci] = agg
+	}
+	return out
 }
 
 func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64) Trial {
@@ -280,13 +362,19 @@ func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64) T
 }
 
 // RunMatrix runs one configuration per system and returns them keyed by
-// system — the shape most figures need.
+// system — the shape most figures need. All (system, trial) pairs share one
+// base.Parallelism-wide worker pool, so a matrix of short configs still
+// fills every worker.
 func RunMatrix(base Config, systems []System) map[System]*Aggregate {
+	cfgs := make([]Config, len(systems))
+	for i, sys := range systems {
+		cfgs[i] = base
+		cfgs[i].System = sys
+	}
+	aggs := runConfigs(cfgs, base.workers())
 	out := make(map[System]*Aggregate, len(systems))
-	for _, sys := range systems {
-		c := base
-		c.System = sys
-		out[sys] = Run(c)
+	for i, sys := range systems {
+		out[sys] = aggs[i]
 	}
 	return out
 }

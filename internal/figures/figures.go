@@ -27,6 +27,10 @@ type Params struct {
 	Quick bool
 	// Seed for determinism.
 	Seed int64
+	// Parallelism is the trial worker count handed to exp.Config: 0 and 1
+	// run sequentially, negative means GOMAXPROCS. Exhibits are bit-identical
+	// at any setting.
+	Parallelism int
 }
 
 // Defaults fills unset fields.
@@ -135,6 +139,7 @@ func (p Params) cell(title string, sys exp.System, tr *trace.Trace, bufSegs int)
 		Segments:       p.Segments,
 		Seed:           p.Seed,
 		Metric:         qoe.SSIM,
+		Parallelism:    p.Parallelism,
 	}
 }
 

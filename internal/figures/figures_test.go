@@ -115,6 +115,28 @@ func TestFig14Survey(t *testing.T) {
 	}
 }
 
+func TestExhibitParallelDeterminism(t *testing.T) {
+	// A whole exhibit — many Run calls, shared manifest cache — must render
+	// the identical table whether trials run sequentially or fanned out.
+	p := quick()
+	p.Trials = 2
+	seq := p
+	seq.Parallelism = 1
+	par := p
+	par.Parallelism = -1 // GOMAXPROCS
+	for _, id := range []string{"Fig10", "Fig7a"} {
+		g, ok := ByID(id)
+		if !ok {
+			t.Fatalf("unknown exhibit %s", id)
+		}
+		a := g.Run(seq).String()
+		b := g.Run(par).String()
+		if a != b {
+			t.Errorf("%s: parallel table differs from sequential:\n%s\nvs\n%s", id, a, b)
+		}
+	}
+}
+
 func TestByID(t *testing.T) {
 	if _, ok := ByID("fig6"); !ok {
 		t.Fatal("case-insensitive lookup failed")

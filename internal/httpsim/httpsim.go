@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // HeaderUnreliable requests unreliable body delivery.
@@ -61,14 +62,25 @@ type ZeroObject int64
 // Size implements Object.
 func (z ZeroObject) Size() int64 { return int64(z) }
 
-var zeroBuf = make([]byte, 64<<10)
+// zeroBuf holds the shared all-zero backing slice; it is read and grown via
+// atomic loads/stores because concurrent trials serve payloads from it.
+var zeroBuf atomic.Value
+
+func init() { zeroBuf.Store(make([]byte, 64<<10)) }
 
 // ReadAt implements Object.
 func (z ZeroObject) ReadAt(offset int64, length int) []byte {
-	for length > len(zeroBuf) {
-		zeroBuf = make([]byte, 2*len(zeroBuf))
+	buf := zeroBuf.Load().([]byte)
+	if length <= len(buf) {
+		return buf[:length]
 	}
-	return zeroBuf[:length]
+	n := len(buf)
+	for length > n {
+		n *= 2
+	}
+	buf = make([]byte, n)
+	zeroBuf.Store(buf)
+	return buf[:length]
 }
 
 // RangeSpec lists requested [start, end) object ranges, in request order.

@@ -198,9 +198,14 @@ func (c CDF) Points(n int) [][2]float64 {
 	if n > m {
 		n = m
 	}
+	if n == 1 {
+		// A single point must still be an extreme: the full-CDF endpoint
+		// (max x, P = 1), not the minimum.
+		return [][2]float64{{c.sorted[m-1], 1}}
+	}
 	pts := make([][2]float64, 0, n)
 	for i := 0; i < n; i++ {
-		idx := i * (m - 1) / max(n-1, 1)
+		idx := i * (m - 1) / (n - 1)
 		pts = append(pts, [2]float64{c.sorted[idx], float64(idx+1) / float64(m)})
 	}
 	return pts
@@ -215,17 +220,15 @@ func (c CDF) Sparkline(lo, hi float64, width int) string {
 	const levels = " .:-=+*#%@"
 	var b strings.Builder
 	for i := 0; i < width; i++ {
-		x := lo + (hi-lo)*float64(i)/float64(width-1)
+		// A single column has no span to interpolate over; sample the
+		// midpoint instead of dividing by width-1 == 0 (NaN glyph).
+		x := (lo + hi) / 2
+		if width > 1 {
+			x = lo + (hi-lo)*float64(i)/float64(width-1)
+		}
 		p := c.At(x)
 		idx := int(p * float64(len(levels)-1))
 		b.WriteByte(levels[idx])
 	}
 	return b.String()
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

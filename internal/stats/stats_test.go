@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -100,6 +101,30 @@ func TestCDFPoints(t *testing.T) {
 	}
 }
 
+func TestCDFPointsSmallN(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5})
+	// n == 1 must return the full-CDF endpoint (max x, P = 1), not the min.
+	one := c.Points(1)
+	if len(one) != 1 || one[0] != [2]float64{5, 1} {
+		t.Fatalf("Points(1) = %v, want [[5 1]]", one)
+	}
+	// n == 2 keeps both extremes.
+	two := c.Points(2)
+	if len(two) != 2 || two[0][0] != 1 || two[1] != [2]float64{5, 1} {
+		t.Fatalf("Points(2) = %v, want min and max", two)
+	}
+	// n > m clamps to the sample size, extremes intact.
+	all := c.Points(50)
+	if len(all) != 5 || all[0][0] != 1 || all[4] != [2]float64{5, 1} {
+		t.Fatalf("Points(50) = %v, want all 5 points", all)
+	}
+	// Single-sample CDF: every n returns that sample at P = 1.
+	single := NewCDF([]float64{7})
+	if pts := single.Points(1); len(pts) != 1 || pts[0] != [2]float64{7, 1} {
+		t.Fatalf("single-sample Points(1) = %v", pts)
+	}
+}
+
 func TestSparkline(t *testing.T) {
 	c := NewCDF([]float64{1, 2, 3})
 	s := c.Sparkline(0, 4, 20)
@@ -108,6 +133,24 @@ func TestSparkline(t *testing.T) {
 	}
 	if c.Sparkline(4, 0, 20) != "" {
 		t.Fatal("inverted range should yield empty sparkline")
+	}
+}
+
+func TestSparklineWidthOne(t *testing.T) {
+	const levels = " .:-=+*#%@"
+	c := NewCDF([]float64{1, 2, 3})
+	s := c.Sparkline(0, 4, 1)
+	if len(s) != 1 {
+		t.Fatalf("sparkline width = %d, want 1", len(s))
+	}
+	// The single column samples the midpoint (x=2): P(X<=2) = 2/3, a valid
+	// glyph — the old width-1 division produced NaN and a garbage byte.
+	if !strings.Contains(levels, s) {
+		t.Fatalf("width-1 sparkline %q is not a valid level glyph", s)
+	}
+	want := levels[int(c.At(2)*float64(len(levels)-1))]
+	if s[0] != want {
+		t.Fatalf("width-1 glyph = %q, want %q", s, string(want))
 	}
 }
 
