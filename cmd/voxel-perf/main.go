@@ -1,0 +1,136 @@
+// Command voxel-perf runs the repo's performance benchmarks and records the
+// results as machine-readable JSON (BENCH_<n>.json at the repo root), so the
+// perf trajectory across PRs is durable instead of living in commit messages.
+//
+// It shells out to `go test -run=NONE -bench=... -benchmem` for each target
+// package and parses the standard benchmark output, including custom metrics
+// like Fig6's voxel_p90_bufratio_%.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// target names one benchmark sweep: a package and a -bench regexp.
+type target struct {
+	Pkg   string
+	Bench string
+	Time  string // -benchtime; empty = default
+}
+
+var targets = []target{
+	{Pkg: "voxel/internal/quic", Bench: "BenchmarkOnAck|BenchmarkDetectLoss|BenchmarkPacketEncode|BenchmarkBulkTransfer"},
+	{Pkg: "voxel/internal/qoe", Bench: "."},
+	{Pkg: "voxel/internal/sim", Bench: "."},
+	{Pkg: "voxel", Bench: "BenchmarkFig6BufRatio", Time: "1x"},
+}
+
+// result is one parsed benchmark line.
+type result struct {
+	Name     string             `json:"name"`
+	Package  string             `json:"package"`
+	Iters    int64              `json:"iterations"`
+	NsOp     float64            `json:"ns_op"`
+	BOp      float64            `json:"b_op"`
+	AllocsOp float64            `json:"allocs_op"`
+	Extra    map[string]float64 `json:"extra,omitempty"`
+}
+
+type report struct {
+	Generated  string   `json:"generated"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_2.json", "output JSON path")
+	flag.Parse()
+
+	rep := report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, t := range targets {
+		args := []string{"test", "-run=NONE", "-bench=" + t.Bench, "-benchmem", t.Pkg}
+		if t.Time != "" {
+			args = append(args, "-benchtime="+t.Time)
+		}
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		outBytes, err := cmd.Output()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "voxel-perf: %s: %v\n", t.Pkg, err)
+			os.Exit(1)
+		}
+		for _, line := range strings.Split(string(outBytes), "\n") {
+			if r, ok := parseBenchLine(line, t.Pkg); ok {
+				rep.Benchmarks = append(rep.Benchmarks, r)
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "voxel-perf:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "voxel-perf:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("voxel-perf: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+// parseBenchLine parses one `go test -bench` output line:
+//
+//	BenchmarkName-8   1234   56.7 ns/op   8 B/op   0 allocs/op   1.2 custom_unit
+func parseBenchLine(line, pkg string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: name, Package: pkg, Iters: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsOp = v
+		case "B/op":
+			r.BOp = v
+		case "allocs/op":
+			r.AllocsOp = v
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[unit] = v
+		}
+	}
+	return r, r.NsOp != 0
+}

@@ -97,6 +97,25 @@ func TestFig6EndToEnd(t *testing.T) {
 	}
 }
 
+// TestFig6GoldenTable pins the rendered Fig6 table to the exact bytes it
+// produced before the transport hot path was rewritten (ordered in-flight
+// tracking, buffer pooling). Fig6 runs full end-to-end streaming sessions
+// through QUIC*, the player, and the ABR loop, so any nondeterminism or
+// behavioral drift in the transport shows up here as a byte diff.
+func TestFig6GoldenTable(t *testing.T) {
+	p := Params{Quick: true, Trials: 2, Segments: 6, Seed: 1, Parallelism: 1}.Defaults()
+	const golden = "== Fig6 — p90 bufRatio: BOLA vs BETA vs VOXEL ==\n" +
+		"Trace        Video  Buf  BOLA   BETA   VOXEL\n" +
+		"verizon-lte  BBB    1    15.5%  0.4%   8.3% \n" +
+		"verizon-lte  BBB    7    0.0%   0.0%   0.0% \n" +
+		"tmobile-lte  ToS    1    73.8%  22.3%  33.7%\n" +
+		"tmobile-lte  ToS    7    23.4%  11.7%  1.3% \n" +
+		"-- paper: VOXEL suffers 25–97% less rebuffering, down to 1-segment buffers\n"
+	if got := Fig6(p).String(); got != golden {
+		t.Errorf("Fig6 table drifted from the recorded golden:\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
 func TestFig14Survey(t *testing.T) {
 	tab := Fig14(quick())
 	if len(tab.Rows) != 7 {

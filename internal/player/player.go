@@ -656,6 +656,9 @@ func (p *Player) maybeFinishDownload(dl *download) {
 // schedulePoll arms the periodic abandonment check.
 func (p *Player) schedulePoll(dl *download) {
 	dl.poll = p.sim.Schedule(250*time.Millisecond, func() {
+		// The handle just fired; drop it so a later cancel can't touch a
+		// recycled event.
+		dl.poll = nil
 		if dl.finished || p.dl != dl || p.done {
 			return
 		}
@@ -727,6 +730,7 @@ func (p *Player) cancel(dl *download) {
 	}
 	if dl.poll != nil {
 		p.sim.Cancel(dl.poll)
+		dl.poll = nil
 	}
 }
 

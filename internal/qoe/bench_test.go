@@ -22,9 +22,25 @@ func BenchmarkScoreAllMetrics(b *testing.B) {
 	s := video.MustLoad("ToS").Segment(5, 9)
 	loss := make([]float64, len(s.Frames))
 	loss[50] = 0.5
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		DefaultModel.Score(SSIM, s, loss)
 		DefaultModel.Score(VMAF, s, loss)
 		DefaultModel.Score(PSNR, s, loss)
+	}
+}
+
+// BenchmarkFrameErrorsAlloc isolates the loss-distortion pass that the ABR
+// decision loop re-evaluates for every candidate delivery state. The scoring
+// entry points must stay allocation-free on the steady path.
+func BenchmarkFrameErrorsAlloc(b *testing.B) {
+	s := video.MustLoad("BBB").Segment(3, 10)
+	loss := make([]float64, len(s.Frames))
+	for i := 10; i < 30; i++ {
+		loss[i] = 0.7
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DefaultModel.SegmentSSIM(s, loss)
 	}
 }

@@ -21,9 +21,33 @@ package qoe
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"voxel/internal/video"
 )
+
+// errsPool recycles per-frame error scratch across scoring calls. QoE is
+// evaluated once per candidate delivery state inside the ABR loop, so the
+// per-call []float64 dominated the package's allocations.
+var errsPool = sync.Pool{New: func() any { s := make([]float64, 0, 64); return &s }}
+
+// getErrs returns a zeroed length-n scratch slice from the pool.
+func getErrs(n int) *[]float64 {
+	p := errsPool.Get().(*[]float64)
+	s := *p
+	if cap(s) < n {
+		s = make([]float64, n)
+	} else {
+		s = s[:n]
+		for i := range s {
+			s[i] = 0
+		}
+	}
+	*p = s
+	return p
+}
+
+func putErrs(p *[]float64) { errsPool.Put(p) }
 
 // Metric selects the quality metric; VOXEL is QoE-metric-agnostic (§4.3)
 // and the evaluation repeats key experiments under all three.
@@ -111,11 +135,18 @@ func (m Model) BaseSSIM(s *video.Segment) float64 {
 // decode order with decay; a frame inheriting error from multiple
 // references takes the worst one.
 func (m Model) FrameErrors(s *video.Segment, frameLoss []float64) []float64 {
+	errs := make([]float64, len(s.Frames))
+	m.frameErrorsInto(errs, s, frameLoss)
+	return errs
+}
+
+// frameErrorsInto is FrameErrors writing into caller-provided scratch;
+// errs must have length len(s.Frames) and be zeroed.
+func (m Model) frameErrorsInto(errs []float64, s *video.Segment, frameLoss []float64) {
 	n := len(s.Frames)
 	if len(frameLoss) != n {
 		panic(fmt.Sprintf("qoe: frameLoss has %d entries for %d frames", len(frameLoss), n))
 	}
-	errs := make([]float64, n)
 	// Two passes handle forward references (B frames referencing the next
 	// anchor): anchors first in index order, then B frames.
 	eval := func(i int) {
@@ -160,14 +191,16 @@ func (m Model) FrameErrors(s *video.Segment, frameLoss []float64) []float64 {
 			eval(i)
 		}
 	}
-	return errs
 }
 
 // SegmentSSIM returns the segment SSIM for a delivery state (see
 // FrameErrors for frameLoss semantics).
 func (m Model) SegmentSSIM(s *video.Segment, frameLoss []float64) float64 {
 	base := m.BaseSSIM(s)
-	errs := m.FrameErrors(s, frameLoss)
+	scratch := getErrs(len(s.Frames))
+	defer putErrs(scratch)
+	errs := *scratch
+	m.frameErrorsInto(errs, s, frameLoss)
 	var sum float64
 	for _, e := range errs {
 		v := base - e
@@ -185,7 +218,10 @@ func (m Model) SegmentSSIM(s *video.Segment, frameLoss []float64) float64 {
 // QoE-metric-agnostic.
 func (m Model) Score(metric Metric, s *video.Segment, frameLoss []float64) float64 {
 	base := m.BaseDistortion(s)
-	errs := m.FrameErrors(s, frameLoss)
+	scratch := getErrs(len(s.Frames))
+	defer putErrs(scratch)
+	errs := *scratch
+	m.frameErrorsInto(errs, s, frameLoss)
 	switch metric {
 	case SSIM:
 		var sum float64
@@ -248,7 +284,9 @@ func psnrFromDistortion(d float64) float64 {
 // DropSet evaluates the common case "frames in drop are missing entirely":
 // it builds the loss vector and returns the metric score.
 func (m Model) DropSet(metric Metric, s *video.Segment, drop []int) float64 {
-	loss := make([]float64, len(s.Frames))
+	scratch := getErrs(len(s.Frames))
+	defer putErrs(scratch)
+	loss := *scratch
 	for _, i := range drop {
 		loss[i] = 1
 	}

@@ -1,7 +1,6 @@
 package quic
 
 import (
-	"sort"
 	"time"
 
 	"voxel/internal/cc"
@@ -81,7 +80,7 @@ type Conn struct {
 
 	// packet number spaces
 	nextPN        uint64
-	sent          map[uint64]*sentPacket
+	sentQ         sentQueue // in-flight ack-eliciting packets, ascending pn
 	largestAcked  uint64
 	anyAcked      bool
 	recoveryStart sim.Time
@@ -117,6 +116,19 @@ type Conn struct {
 	paceTimer  *sim.Timer
 	nextSendAt sim.Time
 	sendArmed  bool
+
+	// scratch and freelists for the zero-allocation fast path. Everything
+	// here is per-connection and single-threaded (one simulation runs on
+	// one goroutine), so reuse needs no synchronization.
+	spFree     []*sentPacket  // sentPacket freelist
+	sfFree     []*StreamFrame // StreamFrame freelist (send side)
+	bufFree    [][]byte       // packet encode buffers, returned after delivery
+	txFrames   []Frame        // frame list scratch for sendOnePacket
+	txAck      AckFrame       // ACK frame scratch for buildAck
+	rxAck      AckFrame       // ACK frame scratch for receive
+	rxStream   StreamFrame    // stream frame scratch for receive
+	rxLoss     LossReportFrame
+	ackScratch []*sentPacket // newly-acked scratch for onAck
 }
 
 // NewPair creates a connected client/server pair over the path. The client
@@ -138,7 +150,6 @@ func newConn(s *sim.Sim, link *netem.Link, cfg Config, isClient bool) *Conn {
 		cfg:       cfg,
 		link:      link,
 		ctl:       cfg.Controller,
-		sent:      make(map[uint64]*sentPacket),
 		streams:   make(map[uint64]*Stream),
 		recvLimit: cfg.InitialMaxData,
 	}
@@ -192,6 +203,66 @@ func (c *Conn) queueUnreliableRewrite(s *Stream, offset uint64, data []byte) {
 	c.trySend()
 }
 
+// --- pools ---
+
+// allocSent returns a clean sentPacket, reusing freed ones. The frame
+// slices keep their capacity across reuse.
+func (c *Conn) allocSent() *sentPacket {
+	if n := len(c.spFree); n > 0 {
+		sp := c.spFree[n-1]
+		c.spFree = c.spFree[:n-1]
+		return sp
+	}
+	return &sentPacket{}
+}
+
+// releaseSent recycles a sentPacket whose frames have already been handed
+// off or freed.
+func (c *Conn) releaseSent(sp *sentPacket) {
+	for i := range sp.streamFrames {
+		sp.streamFrames[i] = nil
+	}
+	for i := range sp.ctrlFrames {
+		sp.ctrlFrames[i] = nil
+	}
+	*sp = sentPacket{streamFrames: sp.streamFrames[:0], ctrlFrames: sp.ctrlFrames[:0]}
+	c.spFree = append(c.spFree, sp)
+}
+
+// allocFrame returns a zeroed StreamFrame from the send-side freelist.
+func (c *Conn) allocFrame() *StreamFrame {
+	if n := len(c.sfFree); n > 0 {
+		f := c.sfFree[n-1]
+		c.sfFree = c.sfFree[:n-1]
+		*f = StreamFrame{}
+		return f
+	}
+	return &StreamFrame{}
+}
+
+// freeFrame recycles a StreamFrame that no queue references anymore.
+func (c *Conn) freeFrame(f *StreamFrame) {
+	f.Data = nil
+	c.sfFree = append(c.sfFree, f)
+}
+
+// getBuf returns an empty encode buffer sized for one packet.
+func (c *Conn) getBuf() []byte {
+	if n := len(c.bufFree); n > 0 {
+		b := c.bufFree[n-1]
+		c.bufFree = c.bufFree[:n-1]
+		return b[:0]
+	}
+	return make([]byte, 0, c.cfg.MTU+64)
+}
+
+// putBuf returns an encode buffer to the pool. Buffers come back after the
+// peer finished parsing the delivered packet (the receive path never
+// retains wire bytes), or immediately when the link dropped the datagram.
+func (c *Conn) putBuf(b []byte) {
+	c.bufFree = append(c.bufFree, b)
+}
+
 // --- send path ---
 
 // trySend drains as much pending data as congestion control and pacing
@@ -242,8 +313,10 @@ func (c *Conn) sendOnePacket() bool {
 	canSendData := c.ctl.CanSend(c.cfg.MTU)
 	budget := c.cfg.MTU - 1 - 8 // header byte + worst-case packet number
 
-	var frames []Frame
-	sp := &sentPacket{pn: c.nextPN, sentAt: now}
+	frames := c.txFrames[:0]
+	sp := c.allocSent()
+	sp.pn = c.nextPN
+	sp.sentAt = now
 
 	if c.ackPending {
 		ack := c.buildAck()
@@ -279,8 +352,9 @@ func (c *Conn) sendOnePacket() bool {
 				if avail <= 0 {
 					break
 				}
-				head := &StreamFrame{StreamID: f.StreamID, Offset: f.Offset,
-					Data: f.Data[:avail], Unreliable: f.Unreliable}
+				head := c.allocFrame()
+				head.StreamID, head.Offset = f.StreamID, f.Offset
+				head.Data, head.Unreliable = f.Data[:avail], f.Unreliable
 				f.Offset += uint64(avail)
 				f.Data = f.Data[avail:]
 				frames = append(frames, head)
@@ -300,8 +374,9 @@ func (c *Conn) sendOnePacket() bool {
 			if n <= 0 {
 				break
 			}
-			f := &StreamFrame{StreamID: rw.stream.id, Offset: rw.offset,
-				Data: rw.data[:n], Unreliable: true}
+			f := c.allocFrame()
+			f.StreamID, f.Offset = rw.stream.id, rw.offset
+			f.Data, f.Unreliable = rw.data[:n], true
 			rw.offset += uint64(n)
 			rw.data = rw.data[n:]
 			if len(rw.data) == 0 {
@@ -338,13 +413,15 @@ func (c *Conn) sendOnePacket() bool {
 		}
 	}
 
+	c.txFrames = frames // keep grown capacity for the next packet
 	if len(frames) == 0 {
+		c.releaseSent(sp)
 		return false
 	}
 
-	pkt := &Packet{Number: c.nextPN, Frames: frames}
+	pkt := Packet{Number: c.nextPN, Frames: frames}
 	c.nextPN++
-	encoded := pkt.Encode()
+	encoded := pkt.AppendTo(c.getBuf())
 	wireSize := len(encoded) + c.cfg.Overhead
 	sp.size = wireSize
 	sp.ackEliciting = pkt.AckEliciting()
@@ -353,7 +430,7 @@ func (c *Conn) sendOnePacket() bool {
 	c.stats.BytesSent += uint64(len(encoded))
 
 	if sp.ackEliciting {
-		c.sent[sp.pn] = sp
+		c.sentQ.push(sp)
 		c.ctl.OnPacketSent(now, wireSize)
 		c.lastAckElic = now
 		c.armPTO()
@@ -367,18 +444,27 @@ func (c *Conn) sendOnePacket() bool {
 			}
 			c.nextSendAt = base + gap
 		}
+	} else {
+		// Nothing tracks a non-eliciting (ACK-only) packet; recycle it.
+		c.releaseSent(sp)
 	}
 
 	peer := c.peer
-	c.link.Send(netem.Datagram{Size: wireSize, Deliver: func() {
+	if !c.link.Send(netem.Datagram{Size: wireSize, Deliver: func() {
 		peer.receive(encoded)
-	}})
+		c.putBuf(encoded)
+	}}) {
+		c.putBuf(encoded) // dropped at the queue: reclaim immediately
+	}
 	return true
 }
 
+// buildAck assembles the ACK frame for the received packet-number history
+// into per-connection scratch; the caller encodes it before the next call.
 func (c *Conn) buildAck() *AckFrame {
 	rs := c.recvdPNs.Ranges()
-	f := &AckFrame{}
+	f := &c.txAck
+	f.Ranges = f.Ranges[:0]
 	// Largest-first, capped at 32 ranges.
 	for i := len(rs) - 1; i >= 0 && len(f.Ranges) < 32; i-- {
 		f.Ranges = append(f.Ranges, AckRange{First: rs[i].Start, Last: rs[i].End - 1})
@@ -397,48 +483,104 @@ func (c *Conn) sendAckNow() {
 		return
 	}
 	ack := c.buildAck()
-	pkt := &Packet{Number: c.nextPN, Frames: []Frame{ack}}
+	frames := append(c.txFrames[:0], ack)
+	pkt := Packet{Number: c.nextPN, Frames: frames}
+	c.txFrames = frames
 	c.nextPN++
 	c.clearAckState()
-	encoded := pkt.Encode()
+	encoded := pkt.AppendTo(c.getBuf())
 	c.stats.PacketsSent++
 	c.stats.BytesSent += uint64(len(encoded))
 	peer := c.peer
-	c.link.Send(netem.Datagram{Size: len(encoded) + c.cfg.Overhead, Deliver: func() {
+	if !c.link.Send(netem.Datagram{Size: len(encoded) + c.cfg.Overhead, Deliver: func() {
 		peer.receive(encoded)
-	}})
+		c.putBuf(encoded)
+	}}) {
+		c.putBuf(encoded)
+	}
 }
 
 // --- receive path ---
 
+// receive parses and dispatches one packet straight off the wire bytes:
+// after an allocation-free validation pass, frames are decoded one at a
+// time into per-connection scratch and handled in place. Stream payloads
+// are passed to the application as sub-slices of the wire buffer (nothing
+// downstream retains them), so steady-state receiving does not allocate or
+// copy.
 func (c *Conn) receive(encoded []byte) {
-	pkt, err := DecodePacket(encoded)
-	if err != nil {
+	if len(encoded) == 0 || encoded[0] != packetHeaderByte {
 		return // corrupt packets are dropped
 	}
+	pn, payload, err := consumeVarint(encoded[1:])
+	if err != nil {
+		return
+	}
+	ackEliciting, err := walkFrames(payload)
+	if err != nil {
+		return // corrupt packets are dropped atomically, as before
+	}
 	c.stats.PacketsReceived++
-	c.recvdPNs.Add(pkt.Number, pkt.Number+1)
+	c.recvdPNs.Add(pn, pn+1)
 
-	for _, f := range pkt.Frames {
-		switch f := f.(type) {
-		case *AckFrame:
+	// Dispatch pass. walkFrames validated the encoding, so the varint and
+	// bounds errors below cannot occur.
+	for b := payload; len(b) > 0; {
+		t := b[0]
+		switch {
+		case t == frameTypePing:
+			b = b[1:] // ack-eliciting only
+		case t == frameTypeAck:
+			rest := b[1:]
+			var n uint64
+			n, rest, _ = consumeVarint(rest)
+			f := &c.rxAck
+			f.Ranges = f.Ranges[:0]
+			for i := uint64(0); i < n; i++ {
+				var first, last uint64
+				first, rest, _ = consumeVarint(rest)
+				last, rest, _ = consumeVarint(rest)
+				f.Ranges = append(f.Ranges, AckRange{First: first, Last: last})
+			}
+			b = rest
 			c.onAck(f)
-		case *StreamFrame:
+		case t == frameTypeMaxData:
+			v, rest, _ := consumeVarint(b[1:])
+			if v > c.sendLimit {
+				c.sendLimit = v
+			}
+			b = rest
+		case t&^finBit == frameTypeStream || t&^finBit == frameTypeUStream:
+			rest := b[1:]
+			var id, off, length uint64
+			id, rest, _ = consumeVarint(rest)
+			off, rest, _ = consumeVarint(rest)
+			length, rest, _ = consumeVarint(rest)
+			f := &c.rxStream
+			f.StreamID = id
+			f.Offset = off
+			f.Data = rest[:length:length]
+			f.Fin = t&finBit != 0
+			f.Unreliable = t&^finBit == frameTypeUStream
+			b = rest[length:]
 			c.onStreamFrame(f)
-		case *LossReportFrame:
+			f.Data = nil
+		case t == frameTypeLossReport:
+			rest := b[1:]
+			f := &c.rxLoss
+			f.StreamID, rest, _ = consumeVarint(rest)
+			f.Offset, rest, _ = consumeVarint(rest)
+			f.Length, rest, _ = consumeVarint(rest)
+			b = rest
 			if s := c.streams[f.StreamID]; s != nil {
 				s.handleLossReport(f)
 			}
-		case *MaxDataFrame:
-			if f.Max > c.sendLimit {
-				c.sendLimit = f.Max
-			}
-		case PingFrame:
-			// ack-eliciting only
+		default:
+			return // unreachable: walkFrames rejected unknown types
 		}
 	}
 
-	if pkt.AckEliciting() {
+	if ackEliciting {
 		c.ackPending = true
 		c.ackElicCount++
 		if c.ackElicCount >= 2 {
@@ -472,6 +614,11 @@ func (c *Conn) onStreamFrame(f *StreamFrame) {
 	}
 }
 
+// onAck processes an ACK by merging its ranges (descending, as buildAck
+// emits them) against the in-flight queue (ascending by packet number):
+// one pass in O(scanned + ranges), where the scan stops at the largest
+// acknowledged packet. Processing order is ascending packet number by
+// construction — no map iteration, no sorting.
 func (c *Conn) onAck(f *AckFrame) {
 	now := c.sim.Now()
 	if len(f.Ranges) == 0 {
@@ -483,43 +630,57 @@ func (c *Conn) onAck(f *AckFrame) {
 		c.anyAcked = true
 	}
 
-	// Collect acked packet numbers. ACK ranges cover the receiver's whole
-	// history (typically one huge contiguous range), so when a range spans
-	// far more than the in-flight set, scan the set instead of the range.
-	var ackedPNs []uint64
-	for _, r := range f.Ranges {
-		if r.Last-r.First > uint64(2*len(c.sent)+16) {
-			for pn := range c.sent {
-				if pn >= r.First && pn <= r.Last {
-					ackedPNs = append(ackedPNs, pn)
-				}
-			}
-		} else {
-			for pn := r.First; pn <= r.Last; pn++ {
-				if _, ok := c.sent[pn]; ok {
-					ackedPNs = append(ackedPNs, pn)
-				}
-			}
+	q := &c.sentQ
+	newlyAcked := c.ackScratch[:0]
+	j := len(f.Ranges) - 1 // walk ranges smallest-first
+	i := q.head
+	w := q.head // survivors below the frontier compact toward the head
+	for ; i < len(q.pk); i++ {
+		sp := q.pk[i]
+		if sp.pn > largest {
+			break
 		}
-	}
-	// Deterministic processing order regardless of map iteration.
-	sort.Slice(ackedPNs, func(i, j int) bool { return ackedPNs[i] < ackedPNs[j] })
-	newlyAcked := make([]*sentPacket, 0, len(ackedPNs))
-	for _, pn := range ackedPNs {
-		if sp, ok := c.sent[pn]; ok {
+		for j >= 0 && f.Ranges[j].Last < sp.pn {
+			j--
+		}
+		if j >= 0 && f.Ranges[j].First <= sp.pn {
 			newlyAcked = append(newlyAcked, sp)
-			delete(c.sent, pn)
-		}
-	}
-	for _, sp := range newlyAcked {
-		c.ctl.OnAck(now, sp.size, now-sp.sentAt)
-		if sp.pn == largest {
-			c.rtt.OnSample(now - sp.sentAt)
+		} else {
+			q.pk[w] = sp
+			w++
 		}
 	}
 	if len(newlyAcked) > 0 {
+		// Slide the surviving scanned packets up against the unscanned
+		// tail, so the live window stays contiguous.
+		survivors := w - q.head
+		newHead := i - survivors
+		if survivors > 0 && newHead != q.head {
+			copy(q.pk[newHead:i], q.pk[q.head:w])
+		}
+		for k := q.head; k < newHead; k++ {
+			q.pk[k] = nil
+		}
+		q.head = newHead
+		q.shrink()
+
+		// RTT sample: exactly once per ACK that newly acknowledges the
+		// largest packet, taken before the congestion-controller callbacks.
+		if last := newlyAcked[len(newlyAcked)-1]; last.pn == largest {
+			c.rtt.OnSample(now - last.sentAt)
+		}
+		for _, sp := range newlyAcked {
+			c.ctl.OnAck(now, sp.size, now-sp.sentAt)
+		}
 		c.ptoCount = 0
+		for _, sp := range newlyAcked {
+			for _, sf := range sp.streamFrames {
+				c.freeFrame(sf)
+			}
+			c.releaseSent(sp)
+		}
 	}
+	c.ackScratch = newlyAcked[:0]
 
 	c.detectLosses(now)
 	c.armPTO()
@@ -528,8 +689,13 @@ func (c *Conn) onAck(f *AckFrame) {
 
 // detectLosses declares packets lost by packet threshold (3) and time
 // threshold (9/8 smoothed RTT behind the largest acknowledged packet).
+//
+// Both thresholds are monotone along the queue — packet numbers ascend and
+// send times never decrease — so the lost packets always form a prefix of
+// the in-flight queue: the walk stops at the first packet neither
+// threshold condemns.
 func (c *Conn) detectLosses(now sim.Time) {
-	if !c.anyAcked {
+	if !c.anyAcked || c.sentQ.empty() {
 		return
 	}
 	base := c.rtt.SmoothedRTT()
@@ -537,22 +703,21 @@ func (c *Conn) detectLosses(now sim.Time) {
 		base = l
 	}
 	timeThresh := base*9/8 + 10*time.Millisecond
-	var lostPNs []uint64
-	for pn, sp := range c.sent {
-		if pn >= c.largestAcked {
-			continue
+	q := &c.sentQ
+	lost := 0
+	for i := q.head; i < len(q.pk); i++ {
+		sp := q.pk[i]
+		if sp.pn >= c.largestAcked ||
+			(c.largestAcked-sp.pn < 3 && now-sp.sentAt <= timeThresh) {
+			break
 		}
-		if c.largestAcked-pn >= 3 || now-sp.sentAt > timeThresh {
-			lostPNs = append(lostPNs, pn)
-		}
+		lost++
 	}
-	if len(lostPNs) == 0 {
+	if lost == 0 {
 		return
 	}
-	sort.Slice(lostPNs, func(i, j int) bool { return lostPNs[i] < lostPNs[j] })
-	for _, pn := range lostPNs {
-		sp := c.sent[pn]
-		delete(c.sent, pn)
+	for i := 0; i < lost; i++ {
+		sp := q.pk[q.head+i]
 		c.stats.PacketsDeclLost++
 		isNew := sp.sentAt >= c.recoveryStart
 		if isNew {
@@ -561,11 +726,13 @@ func (c *Conn) detectLosses(now sim.Time) {
 		c.ctl.OnLoss(now, sp.size, isNew)
 		c.requeueLost(sp)
 	}
+	q.dropPrefix(lost)
 }
 
 // requeueLost recovers the contents of a lost packet: reliable stream data
 // is retransmitted, unreliable stream data becomes a LOSS_REPORT, and
-// control frames are requeued.
+// control frames are requeued. The emptied sentPacket (and any frame no
+// queue references anymore) returns to the connection's freelists.
 func (c *Conn) requeueLost(sp *sentPacket) {
 	for _, f := range sp.streamFrames {
 		if f.Unreliable {
@@ -578,22 +745,25 @@ func (c *Conn) requeueLost(sp *sentPacket) {
 			if f.Fin {
 				// The FIN must still reach the peer: resend an empty FIN
 				// frame reliably so the stream's final size is known.
-				c.retransmit = append(c.retransmit, &StreamFrame{
-					StreamID: f.StreamID, Offset: f.Offset + uint64(len(f.Data)),
-					Fin: true, Unreliable: true,
-				})
+				fin := c.allocFrame()
+				fin.StreamID = f.StreamID
+				fin.Offset = f.Offset + uint64(len(f.Data))
+				fin.Fin, fin.Unreliable = true, true
+				c.retransmit = append(c.retransmit, fin)
 			}
+			c.freeFrame(f) // never retransmitted: the frame is done
 		} else {
 			c.retransmit = append(c.retransmit, f)
 		}
 	}
 	c.ctrlQ = append(c.ctrlQ, sp.ctrlFrames...)
+	c.releaseSent(sp)
 }
 
 // --- PTO ---
 
 func (c *Conn) armPTO() {
-	if len(c.sent) == 0 {
+	if c.sentQ.empty() {
 		c.ptoTimer.Stop()
 		return
 	}
@@ -602,7 +772,7 @@ func (c *Conn) armPTO() {
 }
 
 func (c *Conn) onPTO() {
-	if len(c.sent) == 0 {
+	if c.sentQ.empty() {
 		return
 	}
 	c.ptoCount++
@@ -610,18 +780,14 @@ func (c *Conn) onPTO() {
 	now := c.sim.Now()
 	if c.ptoCount >= 3 {
 		// Persistent congestion: declare everything in flight lost and
-		// collapse the window.
-		var pns []uint64
-		for pn := range c.sent {
-			pns = append(pns, pn)
-		}
-		sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
-		for _, pn := range pns {
-			sp := c.sent[pn]
-			delete(c.sent, pn)
+		// collapse the window. The queue is already in ascending packet-
+		// number order.
+		q := &c.sentQ
+		for i := q.head; i < len(q.pk); i++ {
 			c.stats.PacketsDeclLost++
-			c.requeueLost(sp)
+			c.requeueLost(q.pk[i])
 		}
+		q.reset()
 		c.ctl.OnRetransmissionTimeout(now)
 		c.recoveryStart = now
 		c.ptoCount = 0
@@ -630,17 +796,26 @@ func (c *Conn) onPTO() {
 		return
 	}
 	// Send a probe to elicit an ACK that unblocks threshold loss detection.
-	pkt := &Packet{Number: c.nextPN, Frames: []Frame{PingFrame{}}}
+	frames := append(c.txFrames[:0], PingFrame{})
+	pkt := Packet{Number: c.nextPN, Frames: frames}
+	c.txFrames = frames
 	c.nextPN++
-	encoded := pkt.Encode()
-	sp := &sentPacket{pn: pkt.Number, size: len(encoded) + c.cfg.Overhead,
-		sentAt: now, ackEliciting: true, probe: true}
-	c.sent[sp.pn] = sp
+	encoded := pkt.AppendTo(c.getBuf())
+	sp := c.allocSent()
+	sp.pn = pkt.Number
+	sp.size = len(encoded) + c.cfg.Overhead
+	sp.sentAt = now
+	sp.ackEliciting = true
+	sp.probe = true
+	c.sentQ.push(sp)
 	c.stats.PacketsSent++
 	c.lastAckElic = now
 	peer := c.peer
-	c.link.Send(netem.Datagram{Size: sp.size, Deliver: func() {
+	if !c.link.Send(netem.Datagram{Size: sp.size, Deliver: func() {
 		peer.receive(encoded)
-	}})
+		c.putBuf(encoded)
+	}}) {
+		c.putBuf(encoded)
+	}
 	c.armPTO()
 }

@@ -1,5 +1,7 @@
 package quic
 
+import "sort"
+
 // ByteRange is a half-open byte interval [Start, End).
 type ByteRange struct {
 	Start, End uint64
@@ -38,31 +40,28 @@ func (s *RangeSet) Add(start, end uint64) {
 		s.ranges = append(s.ranges, ByteRange{start, end})
 		return
 	}
-	out := s.ranges[:0:0]
-	inserted := false
-	for _, r := range s.ranges {
-		switch {
-		case r.End < start: // strictly before, not adjacent
-			out = append(out, r)
-		case end < r.Start: // strictly after, not adjacent
-			if !inserted {
-				out = append(out, ByteRange{start, end})
-				inserted = true
-			}
-			out = append(out, r)
-		default: // overlap or adjacency: merge
-			if r.Start < start {
-				start = r.Start
-			}
-			if r.End > end {
-				end = r.End
-			}
-		}
+	// General case, in place: ranges[i:j] is the run that overlaps or abuts
+	// [start, end) — possibly empty — found by binary search. Merge the run
+	// into a single slot and shift the tail, reusing the backing array.
+	rs := s.ranges
+	i := sort.Search(len(rs), func(k int) bool { return rs[k].End >= start })
+	j := sort.Search(len(rs), func(k int) bool { return rs[k].Start > end })
+	if i == j {
+		// Nothing to merge: open a slot at i.
+		s.ranges = append(s.ranges, ByteRange{})
+		copy(s.ranges[i+1:], s.ranges[i:])
+		s.ranges[i] = ByteRange{start, end}
+		return
 	}
-	if !inserted {
-		out = append(out, ByteRange{start, end})
+	if rs[i].Start < start {
+		start = rs[i].Start
 	}
-	s.ranges = out
+	if rs[j-1].End > end {
+		end = rs[j-1].End
+	}
+	rs[i] = ByteRange{start, end}
+	n := copy(rs[i+1:], rs[j:])
+	s.ranges = rs[:i+1+n]
 }
 
 // Contains reports whether [start, end) is fully covered.

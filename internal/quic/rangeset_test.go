@@ -103,6 +103,75 @@ func TestRangeSetMinMax(t *testing.T) {
 	}
 }
 
+func TestRangeSetMiddleInsertAndMerge(t *testing.T) {
+	build := func() *RangeSet {
+		var s RangeSet
+		s.Add(10, 20)
+		s.Add(30, 40)
+		s.Add(50, 60)
+		return &s
+	}
+	s := build()
+	s.Add(22, 28) // pure insert between existing ranges
+	want := []ByteRange{{10, 20}, {22, 28}, {30, 40}, {50, 60}}
+	if got := s.Ranges(); len(got) != 4 || got[1] != want[1] {
+		t.Fatalf("middle insert: %v, want %v", got, want)
+	}
+	s = build()
+	s.Add(25, 30) // right-adjacent to {30,40}
+	if got := s.Ranges(); len(got) != 3 || got[1] != (ByteRange{25, 40}) {
+		t.Fatalf("adjacent merge: %v", got)
+	}
+	s = build()
+	s.Add(15, 55) // spans all three
+	if got := s.Ranges(); len(got) != 1 || got[0] != (ByteRange{10, 60}) {
+		t.Fatalf("spanning merge: %v", got)
+	}
+}
+
+func TestRangeSetAdjacencyAtMaxOffset(t *testing.T) {
+	const max = ^uint64(0)
+	var s RangeSet
+	s.Add(max-10, max)
+	s.Add(100, max-10) // adjacent at max-10: must merge without overflow
+	if got := s.Ranges(); len(got) != 1 || got[0] != (ByteRange{100, max}) {
+		t.Fatalf("adjacency at max offset: %v", got)
+	}
+	if !s.Contains(max-1, max) {
+		t.Fatal("top byte not covered")
+	}
+	s.Add(0, 50)
+	if got := s.Ranges(); len(got) != 2 || got[0] != (ByteRange{0, 50}) {
+		t.Fatalf("low insert below max range: %v", got)
+	}
+}
+
+func TestRangeSetInsertAtFullCapacity(t *testing.T) {
+	// Grow the backing array to exactly full occupancy, then force middle
+	// insertions that must open a slot while append reallocates.
+	var s RangeSet
+	for i := uint64(0); i < 64; i++ {
+		s.Add(i*10, i*10+4) // disjoint, non-adjacent
+	}
+	for cap(s.ranges) != len(s.ranges) {
+		n := uint64(len(s.ranges))
+		s.Add(n*10, n*10+4)
+	}
+	before := len(s.ranges)
+	s.Add(5, 8) // between {0,4} and {10,14}
+	if len(s.ranges) != before+1 {
+		t.Fatalf("len = %d, want %d", len(s.ranges), before+1)
+	}
+	if s.ranges[1] != (ByteRange{5, 8}) || s.ranges[0] != (ByteRange{0, 4}) || s.ranges[2] != (ByteRange{10, 14}) {
+		t.Fatalf("neighborhood after full-capacity insert: %v", s.ranges[:3])
+	}
+	for i := 3; i < len(s.ranges); i++ {
+		if s.ranges[i].Start <= s.ranges[i-1].End {
+			t.Fatalf("tail corrupted at %d: %v", i, s.ranges[i-1:i+1])
+		}
+	}
+}
+
 // Property: RangeSet coverage matches a brute-force bitmap.
 func TestPropertyRangeSetMatchesBitmap(t *testing.T) {
 	f := func(ops []uint16) bool {

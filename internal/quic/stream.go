@@ -11,12 +11,17 @@ type Stream struct {
 	id         uint64
 	unreliable bool
 
-	// send state
-	sendBuf   []byte // bytes not yet packetized
-	sendBase  uint64 // offset of sendBuf[0]
-	finQueued bool   // CloseWrite called
-	finSent   bool
-	finOffset uint64
+	// send state. Queued bytes live in the chunks handed to Write (one
+	// exact-size copy each); nextFrame slices frames straight out of the
+	// head chunk instead of re-copying, so a chunk is shared read-only with
+	// the frames cut from it until the garbage collector sees the last one.
+	sendChunks [][]byte // chunks not yet fully packetized
+	sendPos    int      // consumed bytes of sendChunks[0]
+	sendLen    int      // total unpacketized bytes across all chunks
+	sendBase   uint64   // stream offset of the next byte to packetize
+	finQueued  bool     // CloseWrite called
+	finSent    bool
+	finOffset  uint64
 
 	// receive state
 	received   RangeSet
@@ -45,7 +50,10 @@ func (s *Stream) Write(data []byte) {
 	if len(data) == 0 {
 		return
 	}
-	s.sendBuf = append(s.sendBuf, data...)
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.sendChunks = append(s.sendChunks, cp)
+	s.sendLen += len(cp)
 	s.conn.markActive(s)
 }
 
@@ -103,7 +111,7 @@ func (s *Stream) FinalSize() (uint64, bool) { return s.finalSize, s.finalKnown }
 
 // pendingSendBytes reports how much new data (plus FIN) awaits packetizing.
 func (s *Stream) pendingSendBytes() int {
-	n := len(s.sendBuf)
+	n := s.sendLen
 	if s.finQueued && !s.finSent {
 		n++ // FIN itself needs to ride on a frame
 	}
@@ -111,34 +119,68 @@ func (s *Stream) pendingSendBytes() int {
 }
 
 // nextFrame cuts up to maxData bytes of new data into a frame, or returns
-// nil when nothing is pending.
+// nil when nothing is pending. The cut size depends only on how much data
+// is queued, never on chunk boundaries, so framing is identical to a flat
+// buffer. When the cut fits inside the head chunk the frame aliases it
+// (full-capacity slice: appends by a holder cannot scribble on the chunk);
+// only a cut spanning chunks copies.
 func (s *Stream) nextFrame(maxData int) *StreamFrame {
 	if maxData <= 0 {
 		return nil
 	}
-	n := len(s.sendBuf)
+	n := s.sendLen
 	if n == 0 && !(s.finQueued && !s.finSent) {
 		return nil
 	}
 	if n > maxData {
 		n = maxData
 	}
-	data := make([]byte, n)
-	copy(data, s.sendBuf[:n])
-	f := &StreamFrame{
-		StreamID:   s.id,
-		Offset:     s.sendBase,
-		Data:       data,
-		Unreliable: s.unreliable,
+	var data []byte
+	if n > 0 {
+		if head := s.sendChunks[0]; len(head)-s.sendPos >= n {
+			data = head[s.sendPos : s.sendPos+n : s.sendPos+n]
+			s.sendPos += n
+		} else {
+			data = make([]byte, 0, n)
+			for len(data) < n {
+				head := s.sendChunks[0][s.sendPos:]
+				take := n - len(data)
+				if take > len(head) {
+					take = len(head)
+				}
+				data = append(data, head[:take]...)
+				s.sendPos += take
+				if s.sendPos == len(s.sendChunks[0]) {
+					s.dropHeadChunk()
+				}
+			}
+		}
+		s.sendLen -= n
+		if len(s.sendChunks) > 0 && s.sendPos == len(s.sendChunks[0]) {
+			s.dropHeadChunk()
+		}
 	}
-	s.sendBuf = s.sendBuf[n:]
+	f := s.conn.allocFrame()
+	f.StreamID = s.id
+	f.Offset = s.sendBase
+	f.Data = data
+	f.Unreliable = s.unreliable
 	s.sendBase += uint64(n)
-	if s.finQueued && len(s.sendBuf) == 0 && !s.finSent {
+	if s.finQueued && s.sendLen == 0 && !s.finSent {
 		f.Fin = true
 		s.finSent = true
 		s.finOffset = s.sendBase
 	}
 	return f
+}
+
+// dropHeadChunk releases the fully-consumed head chunk. Frames cut from it
+// may still alias its bytes; the chunk stays alive through them until the
+// last one is acked and freed.
+func (s *Stream) dropHeadChunk() {
+	s.sendChunks[0] = nil
+	s.sendChunks = s.sendChunks[1:]
+	s.sendPos = 0
 }
 
 // handleData processes an arriving stream frame on the receive side.

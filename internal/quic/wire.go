@@ -213,6 +213,80 @@ func (f *LossReportFrame) wireSize() int {
 
 func (f *LossReportFrame) ackEliciting() bool { return true }
 
+// walkFrames validates the wire encoding of a packet payload without
+// allocating and reports whether any frame is ack-eliciting. It accepts
+// exactly the payloads parseFrames accepts; the connection's receive path
+// uses it to validate a whole packet up front (so corrupt packets are
+// dropped atomically, as with DecodePacket) before dispatching frames from
+// the wire bytes in place.
+func walkFrames(b []byte) (ackEliciting bool, err error) {
+	for len(b) > 0 {
+		t := b[0]
+		switch {
+		case t == frameTypePing:
+			ackEliciting = true
+			b = b[1:]
+		case t == frameTypeAck:
+			rest := b[1:]
+			var n uint64
+			n, rest, err = consumeVarint(rest)
+			if err != nil {
+				return false, err
+			}
+			for i := uint64(0); i < n; i++ {
+				var first, last uint64
+				first, rest, err = consumeVarint(rest)
+				if err != nil {
+					return false, err
+				}
+				last, rest, err = consumeVarint(rest)
+				if err != nil {
+					return false, err
+				}
+				if first > last {
+					return false, fmt.Errorf("quic: invalid ack range %d..%d", first, last)
+				}
+			}
+			b = rest
+		case t == frameTypeMaxData:
+			ackEliciting = true
+			_, rest, err := consumeVarint(b[1:])
+			if err != nil {
+				return false, err
+			}
+			b = rest
+		case t&^finBit == frameTypeStream || t&^finBit == frameTypeUStream:
+			ackEliciting = true
+			rest := b[1:]
+			var length uint64
+			for k := 0; k < 3; k++ { // stream ID, offset, length
+				length, rest, err = consumeVarint(rest)
+				if err != nil {
+					return false, err
+				}
+			}
+			if uint64(len(rest)) < length {
+				return false, errors.New("quic: truncated stream frame")
+			}
+			b = rest[length:]
+		case t == frameTypeLossReport:
+			ackEliciting = true
+			rest := b[1:]
+			for k := 0; k < 3; k++ { // stream ID, offset, length
+				var err2 error
+				_, rest, err2 = consumeVarint(rest)
+				if err2 != nil {
+					return false, err2
+				}
+			}
+			b = rest
+		default:
+			return false, fmt.Errorf("quic: unknown frame type 0x%02x", t)
+		}
+	}
+	return ackEliciting, nil
+}
+
 // parseFrames decodes the payload of a packet.
 func parseFrames(b []byte) ([]Frame, error) {
 	var frames []Frame
@@ -318,9 +392,15 @@ type Packet struct {
 // packetHeaderByte marks a short-header 1-RTT packet.
 const packetHeaderByte = 0x40
 
-// Encode serializes the packet.
+// Encode serializes the packet into a fresh buffer.
 func (p *Packet) Encode() []byte {
-	b := make([]byte, 0, p.WireSize())
+	return p.AppendTo(make([]byte, 0, p.WireSize()))
+}
+
+// AppendTo appends the packet's wire encoding to b and returns the extended
+// slice. The transport's hot path uses it with per-connection scratch
+// buffers so steady-state sending does not allocate.
+func (p *Packet) AppendTo(b []byte) []byte {
 	b = append(b, packetHeaderByte)
 	b = appendVarint(b, p.Number)
 	for _, f := range p.Frames {

@@ -20,6 +20,11 @@ type Time = time.Duration
 
 // Event is a scheduled callback. Events are ordered by time; ties break by
 // insertion sequence so that scheduling order is deterministic.
+//
+// Event handles are owned by the scheduler: once an event has fired or been
+// canceled, the handle must not be used again (the Event may be recycled for
+// a later Schedule/At call). Holders that outlive their event — like Timer —
+// must drop the pointer when it fires.
 type Event struct {
 	At  Time
 	Fn  func()
@@ -68,6 +73,7 @@ type Sim struct {
 	rng    *rand.Rand
 	nexec  uint64
 	halted bool
+	free   []*Event // recycled events; Schedule/At pop from here
 }
 
 // New returns a simulator whose random source is seeded with seed.
@@ -103,7 +109,15 @@ func (s *Sim) At(t Time, fn func()) *Event {
 		t = s.now
 	}
 	s.seq++
-	e := &Event{At: t, Fn: fn, seq: s.seq}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.At, e.Fn, e.seq = t, fn, s.seq
+	} else {
+		e = &Event{At: t, Fn: fn, seq: s.seq}
+	}
 	heap.Push(&s.queue, e)
 	return e
 }
@@ -117,18 +131,25 @@ func (s *Sim) Cancel(e *Event) {
 	heap.Remove(&s.queue, e.idx)
 	e.Fn = nil
 	e.idx = -1
+	s.free = append(s.free, e)
 }
 
 // Reschedule moves a pending event to a new absolute time, preserving its
-// callback. If the event already fired it is re-armed.
+// callback. The event is re-armed in place — the caller's handle stays
+// valid — and takes a fresh insertion sequence, so it orders after events
+// already scheduled for the same instant. Times in the past are clamped to
+// now. Events that already fired or were canceled are left untouched.
 func (s *Sim) Reschedule(e *Event, t Time) {
-	if e == nil || e.Fn == nil {
+	if e == nil || e.Fn == nil || e.idx < 0 {
 		return
 	}
-	fn := e.Fn
-	s.Cancel(e)
-	ne := s.At(t, fn)
-	*e = *ne
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	e.At = t
+	e.seq = s.seq
+	heap.Fix(&s.queue, e.idx)
 }
 
 // Halt stops the event loop after the currently executing event returns.
@@ -149,6 +170,7 @@ func (s *Sim) Step() bool {
 	e.Fn = nil
 	s.nexec++
 	fn()
+	s.free = append(s.free, e)
 	return true
 }
 
@@ -175,9 +197,10 @@ func (s *Sim) Pending() int { return len(s.queue) }
 // Timer is a re-armable one-shot timer bound to a simulator, mirroring the
 // shape of time.Timer for transport retransmission deadlines.
 type Timer struct {
-	sim *Sim
-	ev  *Event
-	fn  func()
+	sim  *Sim
+	ev   *Event
+	fn   func()
+	wrap func() // built once: re-arming must not allocate a closure
 }
 
 // NewTimer returns an unarmed timer that will invoke fn when it fires.
@@ -185,25 +208,24 @@ func NewTimer(s *Sim, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: nil timer callback")
 	}
-	return &Timer{sim: s, fn: fn}
+	t := &Timer{sim: s, fn: fn}
+	t.wrap = func() {
+		t.ev = nil
+		t.fn()
+	}
+	return t
 }
 
 // Arm (re)sets the timer to fire after d. Any earlier deadline is replaced.
 func (t *Timer) Arm(d Time) {
 	t.Stop()
-	t.ev = t.sim.Schedule(d, func() {
-		t.ev = nil
-		t.fn()
-	})
+	t.ev = t.sim.Schedule(d, t.wrap)
 }
 
 // ArmAt (re)sets the timer to fire at absolute time at.
 func (t *Timer) ArmAt(at Time) {
 	t.Stop()
-	t.ev = t.sim.At(at, func() {
-		t.ev = nil
-		t.fn()
-	})
+	t.ev = t.sim.At(at, t.wrap)
 }
 
 // Stop disarms the timer if it is pending.

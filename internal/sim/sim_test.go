@@ -79,6 +79,81 @@ func TestCancelOneOfMany(t *testing.T) {
 	}
 }
 
+func TestRescheduleMovesEvent(t *testing.T) {
+	s := New(1)
+	var got []Time
+	e := s.Schedule(time.Millisecond, func() { got = append(got, s.Now()) })
+	s.Reschedule(e, 5*time.Millisecond)
+	s.Run()
+	if len(got) != 1 || got[0] != 5*time.Millisecond {
+		t.Fatalf("rescheduled event fired at %v, want [5ms]", got)
+	}
+}
+
+func TestRescheduleTakesFreshSequence(t *testing.T) {
+	s := New(1)
+	var got []int
+	e := s.Schedule(time.Millisecond, func() { got = append(got, 0) })
+	s.Schedule(2*time.Millisecond, func() { got = append(got, 1) })
+	// Moving e to the same instant as event 1 must order it after: the
+	// rescheduled event takes a fresh insertion sequence.
+	s.Reschedule(e, 2*time.Millisecond)
+	s.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 0 {
+		t.Fatalf("order = %v, want [1 0]", got)
+	}
+}
+
+// Regression: Reschedule used to copy a freshly scheduled event's fields
+// into the caller's handle, leaving the handle's heap index stale once the
+// heap reordered — a later Cancel(e) removed whatever event happened to sit
+// at that index. Rearm must keep the handle live so Cancel hits the right
+// event.
+func TestRescheduleThenCancelRemovesRightEvent(t *testing.T) {
+	s := New(1)
+	fired := make([]bool, 6)
+	var evs []*Event
+	for i := 0; i < 6; i++ {
+		i := i
+		evs = append(evs, s.Schedule(Time(i+1)*time.Millisecond, func() { fired[i] = true }))
+	}
+	// Push event 0 far into the future, forcing the heap to reorder around
+	// it, then schedule more events so indices shuffle further.
+	s.Reschedule(evs[0], 50*time.Millisecond)
+	for i := 0; i < 4; i++ {
+		s.Schedule(Time(10+i)*time.Millisecond, func() {})
+	}
+	s.Cancel(evs[0])
+	s.Run()
+	for i := 1; i < 6; i++ {
+		if !fired[i] {
+			t.Fatalf("event %d did not fire: canceling the rescheduled event removed it", i)
+		}
+	}
+	if fired[0] {
+		t.Fatal("canceled (rescheduled) event fired anyway")
+	}
+}
+
+func TestRescheduleFiredOrCanceledIsNoop(t *testing.T) {
+	s := New(1)
+	n := 0
+	e := s.Schedule(time.Millisecond, func() { n++ })
+	s.Run()
+	s.Reschedule(e, 5*time.Millisecond) // already fired: must not rearm
+	s.Run()
+	if n != 1 {
+		t.Fatalf("fired %d times, want 1", n)
+	}
+	e2 := s.Schedule(time.Millisecond, func() { n++ })
+	s.Cancel(e2)
+	s.Reschedule(e2, 5*time.Millisecond) // canceled: must not resurrect
+	s.Run()
+	if n != 1 {
+		t.Fatalf("canceled event resurrected; fired %d times, want 1", n)
+	}
+}
+
 func TestRunUntil(t *testing.T) {
 	s := New(1)
 	var got []int
