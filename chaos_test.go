@@ -1,0 +1,41 @@
+package voxel_test
+
+import (
+	"testing"
+
+	"voxel"
+)
+
+// TestChaosSmoke streams through every impairment profile and the failover
+// scenario via the public facade — the CI chaos job runs this under -race
+// with a hard timeout, so any regression that lets an impaired trial hang
+// fails fast instead of wedging the job.
+func TestChaosSmoke(t *testing.T) {
+	tr, err := voxel.LoadTrace("verizon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(name, impairment string, failover bool) {
+		t.Run(name, func(t *testing.T) {
+			agg, err := voxel.Stream(voxel.Config{
+				Title: "BBB", System: voxel.VOXEL, Trace: tr,
+				Trials: 1, Segments: 8,
+				Impairment: impairment, Failover: failover,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !agg.Trials[0].Completed {
+				t.Fatalf("trial wedged: %+v", agg.Trials[0])
+			}
+		})
+	}
+	for _, prof := range voxel.ImpairmentProfiles() {
+		run(prof, prof, false)
+	}
+	run("failover", "handover-blackout", true)
+
+	if _, err := voxel.Stream(voxel.Config{Title: "BBB", Impairment: "nope"}); err == nil {
+		t.Fatal("unknown impairment profile must be rejected")
+	}
+}

@@ -27,6 +27,9 @@ func main() {
 	queue := flag.Int("queue", 32, "router queue in packets (750 = long-queue appendix)")
 	cross := flag.Float64("cross", 0, "cross-traffic load in Mbps over a 20 Mbps link (replaces the trace)")
 	seed := flag.Int64("seed", 1, "random seed")
+	impair := flag.String("impair", "", "impairment profile: clean, bursty, flaky-wifi, handover-blackout")
+	failover := flag.Bool("failover", false,
+		"add a second origin and permanently blackhole the primary path mid-stream")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"concurrent trial workers (1 = sequential; results are identical either way)")
 	flag.Parse()
@@ -52,7 +55,12 @@ func main() {
 		Metric:         metric,
 		QueuePackets:   *queue,
 		Seed:           *seed,
+		Impairment:     *impair,
+		Failover:       *failover,
 		Parallelism:    *parallel,
+	}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
 	}
 	if *cross > 0 {
 		cfg.CrossTraffic = *cross * 1e6
@@ -67,6 +75,13 @@ func main() {
 		cfg.Trace = tr
 		fmt.Printf("%s streaming %s over %s (mean %.1f Mbps, stddev %.1f Mbps), %d-segment buffer\n",
 			*system, *title, tr.Name(), tr.Mean()/1e6, tr.StdDev()/1e6, *buffer)
+	}
+	if *impair != "" {
+		fmt.Printf("impairment profile: %s\n", *impair)
+	}
+	if *failover {
+		fmt.Printf("failover scenario: primary path dies at %v, second origin takes over\n",
+			exp.FailoverKillTime)
 	}
 
 	agg := exp.Run(cfg)
@@ -87,6 +102,18 @@ func main() {
 	fmt.Printf("%-26s %.2f%%\n", "data skipped (mean):", 100*stats.Mean(skipped))
 	fmt.Printf("%-26s %.2f%%\n", "residual loss (mean):", 100*stats.Mean(residual))
 	fmt.Printf("%-26s %.2f s\n", "startup delay (mean):", stats.Mean(startup))
+	if *impair != "" || *failover {
+		var failed float64
+		incomplete := 0
+		for _, t := range agg.Trials {
+			failed += float64(t.FailedReqs)
+			if !t.Completed {
+				incomplete++
+			}
+		}
+		fmt.Printf("%-26s %.1f\n", "failed requests (mean):", failed/float64(len(agg.Trials)))
+		fmt.Printf("%-26s %d/%d\n", "incomplete trials:", incomplete, len(agg.Trials))
+	}
 }
 
 func fatal(err error) {

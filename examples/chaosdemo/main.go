@@ -1,0 +1,58 @@
+// Chaosdemo: stream VOXEL through the netem fault-injection profiles and
+// watch the recovery stack ride out the damage. Setting Config.Impairment
+// attaches a deterministic impairment chain (burst loss, jitter, reorder,
+// duplication, link flaps, blackouts) to the path and arms the full
+// recovery stack: request deadlines + retries in the HTTP client, idle
+// timeout + keepalive + capped PTO backoff in QUIC*. Config.Failover adds
+// a second origin and kills the primary path mid-stream.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"voxel"
+)
+
+func main() {
+	tr, err := voxel.LoadTrace("verizon")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(label string, impairment string, failover bool) {
+		agg, err := voxel.Stream(voxel.Config{
+			Title:          "BBB",
+			System:         voxel.VOXEL,
+			Trace:          tr,
+			BufferSegments: 7,
+			Trials:         3,
+			Segments:       25,
+			Impairment:     impairment,
+			Failover:       failover,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var failed int
+		completed := 0
+		for _, t := range agg.Trials {
+			failed += t.FailedReqs
+			if t.Completed {
+				completed++
+			}
+		}
+		fmt.Printf("%-18s bufRatio(p90) %5.1f%%  bitrate %5.2f Mbps  SSIM %.3f  failed=%d  done=%d/%d\n",
+			label, 100*agg.BufRatioP90(), agg.BitrateMean()/1e6, agg.MeanScore(),
+			failed, completed, len(agg.Trials))
+	}
+
+	fmt.Println("VOXEL streaming BBB over Verizon LTE under fault injection:")
+	for _, prof := range voxel.ImpairmentProfiles() {
+		run(prof, prof, false)
+	}
+	// The failover scenario: the primary path is permanently blackholed
+	// 30 s in; the client detects the dead connection via idle timeout and
+	// re-issues in-flight requests against the second origin.
+	run("failover", "clean", true)
+}

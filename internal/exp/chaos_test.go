@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"voxel/internal/netem"
+)
+
+func chaosCfg(prof string, failover bool) Config {
+	return Config{
+		Title: "BBB", System: SysVoxel, Trials: 1, Segments: 10,
+		Impairment: prof, Failover: failover, MaxSimTime: 10 * time.Minute,
+	}
+}
+
+// The impairment axis must be inert at zero intensity: naming the "clean"
+// profile yields trials bit-identical to not naming one at all.
+func TestCleanProfileBitIdentical(t *testing.T) {
+	base := Run(chaosCfg("", false))
+	clean := Run(chaosCfg(netem.ProfileClean, false))
+	if !reflect.DeepEqual(base.Trials, clean.Trials) {
+		t.Fatalf("clean profile drifted from unimpaired run:\n%+v\nvs\n%+v",
+			base.Trials, clean.Trials)
+	}
+}
+
+// Every impairment profile — and the dual-origin failover scenario — must
+// finish playback in bounded simulated time with zero permanently failed
+// requests: the recovery stack (deadlines, retries, keepalive, failover)
+// rides out every fault the profiles inject.
+func TestImpairedTrialsComplete(t *testing.T) {
+	run := func(name string, cfg Config) {
+		t.Run(name, func(t *testing.T) {
+			agg := Run(cfg)
+			tr := agg.Trials[0]
+			if !tr.Completed {
+				t.Fatalf("trial did not complete: %+v", tr)
+			}
+			if tr.FailedReqs != 0 {
+				t.Errorf("%d requests failed for good", tr.FailedReqs)
+			}
+			if tr.AvgBitrate <= 0 {
+				t.Errorf("no media streamed: %+v", tr)
+			}
+		})
+	}
+	for _, prof := range netem.Profiles() {
+		run(prof, chaosCfg(prof, false))
+	}
+	run("failover", chaosCfg(netem.ProfileHandover, true))
+}
+
+// Impaired trials stay deterministic: the same seed replays the identical
+// fault schedule and recovery decisions.
+func TestImpairedTrialDeterministic(t *testing.T) {
+	cfg := chaosCfg(netem.ProfileFlaky, false)
+	cfg.Seed = 42
+	a := Run(cfg)
+	b := Run(cfg)
+	if !reflect.DeepEqual(a.Trials, b.Trials) {
+		t.Fatalf("same seed, different trials:\n%+v\nvs\n%+v", a.Trials, b.Trials)
+	}
+}
+
+// Harsher profiles must hurt: an impaired run cannot beat the clean run's
+// bitrate, and the blackhole scenarios must still stream most segments.
+func TestImpairmentDegradesGracefully(t *testing.T) {
+	clean := Run(chaosCfg("", false)).Trials[0]
+	for _, prof := range []string{netem.ProfileBursty, netem.ProfileFlaky, netem.ProfileHandover} {
+		tr := Run(chaosCfg(prof, false)).Trials[0]
+		if tr.AvgBitrate > clean.AvgBitrate {
+			t.Errorf("%s: impaired bitrate %.2f Mbps beats clean %.2f Mbps",
+				prof, tr.AvgBitrate/1e6, clean.AvgBitrate/1e6)
+		}
+		if tr.MeanScore < 0.5 {
+			t.Errorf("%s: playback collapsed (mean score %.3f)", prof, tr.MeanScore)
+		}
+	}
+}

@@ -47,6 +47,13 @@ const (
 	SysVoxelUntuned System = "VOXEL-untuned" // safety 1.0 (Fig. 17)
 )
 
+// Systems lists every system identifier newAlgorithm accepts, in the order
+// the paper introduces them.
+func Systems() []System {
+	return []System{SysBolaQ, SysBolaQStar, SysMPCQ, SysMPCQStar, SysTputQ,
+		SysTputQStar, SysBeta, SysBolaSSIM, SysVoxel, SysVoxelRel, SysVoxelUntuned}
+}
+
 // Config specifies one experiment cell.
 type Config struct {
 	Title          string
@@ -69,6 +76,17 @@ type Config struct {
 	// what the paper's QUIC* inherits) or "bbr" (the delay-based control
 	// Appendix B names as future work).
 	CC string
+	// Impairment names a netem fault profile (clean / bursty / flaky-wifi /
+	// handover-blackout) applied to the path. Any profile other than
+	// clean/"" also arms the recovery stack: request deadlines and retries
+	// in the HTTP client, idle timeout + keepalive + capped PTO backoff in
+	// QUIC*. Empty keeps the trial bit-identical to the pre-impairment
+	// harness.
+	Impairment string
+	// Failover adds a second origin server on its own path and blackholes
+	// the primary path permanently at FailoverKillTime, exercising
+	// idle-timeout detection and client failover mid-stream.
+	Failover bool
 	// Parallelism is the number of worker goroutines trials fan out across
 	// (and, via RunMatrix, (system, trial) pairs). 0 and 1 run sequentially;
 	// negative means GOMAXPROCS. Each trial owns its own simulated world, and
@@ -93,6 +111,33 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Validate checks the user-facing identifier fields — title, system, and
+// impairment profile — so CLIs can reject a bad flag with a message instead
+// of a panic deep inside a trial.
+func (c Config) Validate() error {
+	if c.Title != "" {
+		if _, err := video.Load(c.Title); err != nil {
+			return fmt.Errorf("exp: %v (have %v)", err, video.AllTitles())
+		}
+	}
+	if c.System != "" {
+		known := false
+		for _, s := range Systems() {
+			if s == c.System {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("exp: unknown system %q (have %v)", c.System, Systems())
+		}
+	}
+	if _, _, err := netem.NewProfile(c.Impairment); err != nil {
+		return err
+	}
+	return nil
+}
+
 // workers resolves the Parallelism knob to a concrete worker count.
 func (c Config) workers() int {
 	if c.Parallelism < 0 {
@@ -103,6 +148,10 @@ func (c Config) workers() int {
 	}
 	return c.Parallelism
 }
+
+// FailoverKillTime is when the Failover scenario blackholes the primary
+// path for good.
+const FailoverKillTime = 30 * time.Second
 
 // Trial is one playback run's summary.
 type Trial struct {
@@ -115,6 +164,7 @@ type Trial struct {
 	Wasted       int64
 	StartupDelay time.Duration
 	Completed    bool
+	FailedReqs   int // requests abandoned after deadline/retry/failover
 }
 
 // Aggregate collects trials of one configuration.
@@ -283,33 +333,81 @@ func runConfigs(cfgs []Config, workers int) []*Aggregate {
 	return out
 }
 
-func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64) Trial {
-	s := sim.New(seed)
-
-	var path *netem.Path
-	var gen *crosstraffic.Generator
+// buildPath assembles one server↔client path per the config's shaping
+// knobs. Cross-traffic generation (primary path only) is the caller's job.
+func buildPath(s *sim.Sim, cfg Config, man *dash.Manifest, shift time.Duration) *netem.Path {
 	if cfg.CrossTraffic > 0 {
 		capacity := cfg.LinkCapacity
 		if capacity <= 0 {
 			capacity = 20e6
 		}
 		secs := int((man.Duration()*30)/time.Second) + 60
-		path = netem.NewPath(s, trace.Constant("link", capacity, secs), cfg.QueuePackets)
+		return netem.NewPath(s, trace.Constant("link", capacity, secs), cfg.QueuePackets)
+	}
+	tr := cfg.Trace
+	if tr == nil {
+		tr = trace.Constant("default", 10e6, 600)
+	}
+	return netem.NewPath(s, tr.Shifted(shift), cfg.QueuePackets)
+}
+
+func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64) Trial {
+	s := sim.New(seed)
+
+	path := buildPath(s, cfg, man, shift)
+	var gen *crosstraffic.Generator
+	if cfg.CrossTraffic > 0 {
 		gen = crosstraffic.New(s, path, cfg.CrossTraffic)
 		gen.Start()
-	} else {
-		tr := cfg.Trace
-		if tr == nil {
-			tr = trace.Constant("default", 10e6, 600)
-		}
-		path = netem.NewPath(s, tr.Shifted(shift), cfg.QueuePackets)
 	}
 
-	var serverCfg quic.Config
+	impaired := cfg.Impairment != "" && cfg.Impairment != netem.ProfileClean
+	recovered := impaired || cfg.Failover
+
+	var clientCfg, serverCfg quic.Config
 	if cfg.CC == "bbr" {
 		serverCfg.Controller = cc.NewBBRLite()
 	}
-	clientConn, serverConn := quic.NewPair(s, path, quic.Config{}, serverCfg)
+	if recovered {
+		// Survive outages instead of wedging: probe at a bounded cadence
+		// through blackouts, keep quiet-but-healthy connections alive, and
+		// tear down only after a long silence. The failover scenario uses a
+		// short idle timeout on the primary so origin death is detected
+		// within seconds.
+		clientCfg.IdleTimeout = 30 * time.Second
+		clientCfg.KeepAlive = true
+		clientCfg.PTOBackoffCap = 6
+		serverCfg.IdleTimeout = 60 * time.Second
+		serverCfg.PTOBackoffCap = 6
+		if cfg.Failover {
+			clientCfg.IdleTimeout = 2 * time.Second
+		}
+	}
+
+	if cfg.Failover {
+		// Primary path goes dark for good mid-stream; profile impairments
+		// (the client's flaky last mile) ride on top in both directions.
+		kill := netem.Blackout{Windows: []netem.Window{{Start: FailoverKillTime, End: 1 << 62}}}
+		down, up, err := netem.NewProfile(cfg.Impairment)
+		if err != nil {
+			panic(err)
+		}
+		dc, uc := netem.Chain{kill}, netem.Chain{kill}
+		if down != nil {
+			dc = append(dc, down)
+		}
+		if up != nil {
+			uc = append(uc, up)
+		}
+		path.Down.Impair(dc, seed+0x1000)
+		path.Up.Impair(uc, seed+0x1000+0x9E3779B9)
+	} else if impaired {
+		if err := netem.ApplyProfile(path, cfg.Impairment, seed+0x1000); err != nil {
+			panic(err)
+		}
+	}
+
+	clientConn, serverConn := quic.NewPair(s, path, clientCfg, serverCfg)
 	if _, err := server.New(serverConn, man, httpsim.ServerOptions{}); err != nil {
 		panic(err)
 	}
@@ -319,13 +417,47 @@ func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64) T
 	if cfg.Segments > 0 && cfg.Segments < v.Segments {
 		v.Segments = cfg.Segments
 	}
-	pl := player.New(s, clientConn, v, man, player.Config{
+	pcfg := player.Config{
 		Algorithm:      alg,
 		Mode:           mode,
 		BufferSegments: cfg.BufferSegments,
 		Metric:         cfg.Metric,
 		BetaCandidates: beta,
-	})
+	}
+	if recovered {
+		pcfg.Recovery = httpsim.Recovery{
+			RequestTimeout: 4 * time.Second,
+			Retry: httpsim.RetryPolicy{
+				MaxAttempts: 4,
+				BaseDelay:   250 * time.Millisecond,
+				MaxDelay:    4 * time.Second,
+				Jitter:      0.25,
+			},
+		}
+	}
+	if cfg.Failover {
+		// Second origin on its own path (same shaping and, if set, the same
+		// impairment profile with independent fault schedules — the backup
+		// origin still sits behind the client's last mile).
+		path2 := buildPath(s, cfg, man, shift)
+		if impaired {
+			if err := netem.ApplyProfile(path2, cfg.Impairment, seed+0x2000); err != nil {
+				panic(err)
+			}
+		}
+		c2cfg := clientCfg
+		c2cfg.IdleTimeout = 30 * time.Second
+		s2cfg := serverCfg
+		if cfg.CC == "bbr" {
+			s2cfg.Controller = cc.NewBBRLite() // controllers hold per-conn state
+		}
+		clientConn2, serverConn2 := quic.NewPair(s, path2, c2cfg, s2cfg)
+		if _, err := server.New(serverConn2, man, httpsim.ServerOptions{}); err != nil {
+			panic(err)
+		}
+		pcfg.FailoverConns = []*quic.Conn{clientConn2}
+	}
+	pl := player.New(s, clientConn, v, man, pcfg)
 	pl.Run(nil)
 
 	limit := cfg.MaxSimTime
@@ -348,6 +480,7 @@ func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64) T
 		Wasted:       res.BytesWasted,
 		StartupDelay: res.StartupDelay,
 		Completed:    pl.Done(),
+		FailedReqs:   res.FailedRequests,
 	}
 	if !pl.Done() {
 		// The run hit the safety limit: treat all remaining media time as

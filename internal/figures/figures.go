@@ -184,6 +184,7 @@ func All() []Generator {
 		{"FigB1", "Delay-based CC on long queues (App. B extension)", FigB1},
 		{"RetxResidual", "Selective-retransmission residual loss (§4.2)", SelectiveRetx},
 		{"RefShares", "Referenced frames among drops (§3)", ReferencedShares},
+		{"FigChaos", "QoE under impairment profiles + failover (robustness ext.)", FigChaos},
 	}
 }
 

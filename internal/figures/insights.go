@@ -186,7 +186,7 @@ func Fig2cd(Params) *Table {
 		series := map[string][]float64{}
 		for i := 0; i < v.Segments; i++ {
 			s12 := v.Segment(i, 12)
-			order := prep.Order(s12, prep.OrderByInboundRefs)
+			order := prep.MustOrder(s12, prep.OrderByInboundRefs)
 			for _, target := range []float64{0.99, 0.95} {
 				points := a.CurveFor(s12, order)
 				bytes := points[len(points)-1].Bytes

@@ -1,11 +1,71 @@
 package httpsim
 
 import (
+	"errors"
+	"math/rand"
 	"strconv"
 	"strings"
 
 	"voxel/internal/quic"
+	"voxel/internal/sim"
 )
+
+// ErrRequestTimeout is the attempt-failure reason when a request made no
+// progress (no head or body byte, no loss report) for the configured
+// deadline.
+var ErrRequestTimeout = errors.New("httpsim: request deadline exceeded")
+
+// ErrNoTransport is the terminal failure reason when every connection the
+// client knows about is closed.
+var ErrNoTransport = errors.New("httpsim: all connections closed")
+
+// RetryPolicy shapes re-attempts after a failed request attempt.
+// Exponential backoff with decorrelating jitter: attempt n waits
+// BaseDelay<<(n-1), capped at MaxDelay, with a ±Jitter/2 fraction of the
+// wait randomized. The zero value disables retries.
+type RetryPolicy struct {
+	MaxAttempts int      // total attempts including the first; <=1 disables retry
+	BaseDelay   sim.Time // backoff unit (0 retries immediately)
+	MaxDelay    sim.Time // backoff ceiling (0 = uncapped)
+	Jitter      float64  // fraction of the backoff randomized, in [0,1]
+}
+
+// backoff returns the wait before the attempt after failed attempt n (1-based).
+func (p RetryPolicy) backoff(n int, rng *rand.Rand) sim.Time {
+	if p.BaseDelay <= 0 {
+		return 0
+	}
+	if n > 16 {
+		n = 16 // the shift below must not overflow sim.Time
+	}
+	d := p.BaseDelay << uint(n-1)
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.Jitter > 0 {
+		if span := sim.Time(float64(d) * p.Jitter); span > 0 {
+			d += sim.Time(rng.Int63n(int64(span))) - span/2
+		}
+	}
+	return d
+}
+
+// Recovery bundles the client's failure-recovery knobs. The zero value —
+// no deadline, no retries — reproduces the legacy fire-and-forget client
+// exactly.
+type Recovery struct {
+	// RequestTimeout is a progress deadline, not an absolute one: it is
+	// re-armed whenever the attempt makes any progress (head bytes, body
+	// bytes, or a transport loss report), so a slow-but-flowing transfer
+	// on a starved link is never killed — only a genuinely stuck one.
+	// It also defers to connection-level liveness: a request that is
+	// merely queued behind another transfer on a connection that is still
+	// receiving packets is not failed (see Response.onDeadline), so the
+	// deadline converts dead links into bounded failures without turning
+	// head-of-line blocking into retry storms.
+	RequestTimeout sim.Time
+	Retry          RetryPolicy
+}
 
 // Response is a client-side in-flight response. Body delivery is
 // event-driven; offsets are positions in the concatenated range payload
@@ -26,17 +86,35 @@ type Response struct {
 	OnHead func()
 	// OnComplete fires when every body byte is received or reported lost.
 	OnComplete func()
+	// OnFail fires once when the request is abandoned for good: every
+	// attempt timed out or the last transport died. Body coverage gathered
+	// so far stays readable — the caller decides what a partial download
+	// is worth (§4.3).
+	OnFail func(error)
 
 	received quic.RangeSet
 	lost     quic.RangeSet
 	headDone bool
 	complete bool
 	finSeen  bool
+	failed   bool
 	reqStr   *quic.Stream
 	client   *Client
 	headBuf  []byte
 	headCov  quic.RangeSet // stream-offset coverage during the head phase
 	bodyBase uint64        // stream offset where the body starts (reliable path)
+
+	// retry state. gen invalidates callbacks wired by earlier attempts:
+	// a stale stream delivering late cannot corrupt the per-attempt head
+	// parse. Body coverage (received/lost) survives across attempts — the
+	// request re-asks for the same ranges, so offsets line up and
+	// duplicate bytes are suppressed by the coverage gap check.
+	path       string
+	reqHeaders map[string]string
+	attempt    int
+	gen        int
+	deadline   *sim.Timer
+	retryTimer *sim.Timer
 }
 
 // Received exposes the received body coverage.
@@ -51,23 +129,48 @@ func (r *Response) Complete() bool { return r.complete }
 // BytesReceived returns the number of body bytes that arrived.
 func (r *Response) BytesReceived() int64 { return int64(r.received.CoveredBytes()) }
 
-// Cancel detaches the response: subsequent data is ignored. The transport
-// keeps draining whatever the server already queued; the player accounts
-// for abandoned downloads itself.
+// Cancel detaches the response: subsequent data is ignored (though body
+// coverage keeps accumulating, as before) and no further retry fires. The
+// transport keeps draining whatever the server already queued; the player
+// accounts for abandoned downloads itself.
 func (r *Response) Cancel() {
 	r.OnBody = nil
 	r.OnLost = nil
 	r.OnComplete = nil
+	r.OnFail = nil
+	r.failed = true
+	if r.deadline != nil {
+		r.deadline.Stop()
+	}
+	if r.retryTimer != nil {
+		r.retryTimer.Stop()
+	}
+	r.client.detach(r)
 }
 
-// Client issues GET requests over a QUIC* connection.
+// Client issues GET requests over a QUIC* connection, optionally retrying
+// failed attempts and failing over to spare connections.
 type Client struct {
-	conn *quic.Conn
-	// pendingByStream maps announced unreliable stream IDs to responses.
-	pendingByStream map[uint64]*Response
+	conn  *quic.Conn   // active transport
+	conns []*quic.Conn // all transports in failover preference order
+	sim   *sim.Sim
+	rec   Recovery
+
+	// pendingByStream maps announced unreliable stream IDs to the adopting
+	// response attempt on the active connection.
+	pendingByStream map[uint64]pendingRef
 	// earlyStreams buffers unreliable streams that arrived before their
 	// announcing response head.
 	earlyStreams map[uint64]*earlyStream
+
+	// inflight tracks unresolved responses in issue order, so the sweep on
+	// a connection close fails them in a deterministic order.
+	inflight []*Response
+}
+
+type pendingRef struct {
+	r   *Response
+	gen int
 }
 
 type earlyStream struct {
@@ -85,16 +188,32 @@ type earlyChunk struct {
 
 // NewClient wires a Client to the connection. It takes over the
 // connection's OnStream callback for server-initiated (unreliable body)
-// streams.
+// streams and the OnClose callback for failure sweeps.
 func NewClient(conn *quic.Conn) *Client {
 	c := &Client{
 		conn:            conn,
-		pendingByStream: make(map[uint64]*Response),
+		conns:           []*quic.Conn{conn},
+		sim:             conn.Sim(),
+		pendingByStream: make(map[uint64]pendingRef),
 		earlyStreams:    make(map[uint64]*earlyStream),
 	}
 	conn.OnStream(c.onServerStream)
+	conn.OnClose(c.onConnClose)
 	return c
 }
+
+// SetRecovery installs the deadline/retry policy for subsequent requests.
+func (c *Client) SetRecovery(rec Recovery) { c.rec = rec }
+
+// AddFailover registers a spare connection (to a second origin). When the
+// active connection closes, the client rebinds to the next open spare and
+// re-issues in-flight requests there, subject to the retry policy.
+func (c *Client) AddFailover(conn *quic.Conn) {
+	c.conns = append(c.conns, conn)
+}
+
+// Conn returns the currently active transport.
+func (c *Client) Conn() *quic.Conn { return c.conn }
 
 // Get issues a GET for path. ranges may be nil (whole object); unreliable
 // asks the server for unreliable body delivery; extra headers are optional.
@@ -111,13 +230,165 @@ func (c *Client) Get(path string, ranges RangeSpec, unreliable bool, extra map[s
 	if unreliable {
 		headers[HeaderUnreliable] = "1"
 	}
-	st := c.conn.OpenStream(false)
-	resp := &Response{Ranges: ranges, client: c, reqStr: st}
-	st.OnData(func(off uint64, data []byte) { resp.onReliableData(off, data) })
-	st.OnFin(func(sz uint64) { resp.onReliableFin(sz) })
-	st.Write(encodeHead("GET "+path+" HTTP/1.1", headers))
-	st.CloseWrite()
+	resp := &Response{Ranges: ranges, client: c, path: path, reqHeaders: headers}
+	c.inflight = append(c.inflight, resp)
+	c.issue(resp)
 	return resp
+}
+
+// issue wires one request attempt onto the active connection. Every
+// callback it installs is tagged with the attempt's generation; a later
+// retry bumps the generation and the stale attempt's deliveries fall away.
+func (c *Client) issue(r *Response) {
+	if c.conn == nil || c.conn.Closed() {
+		// Deferred one event: when Get itself hits a dead transport, the
+		// caller has not wired OnFail yet.
+		c.sim.Schedule(0, func() { r.fail(ErrNoTransport) })
+		return
+	}
+	r.attempt++
+	r.gen++
+	gen := r.gen
+	r.headDone = false
+	r.headBuf = nil
+	r.headCov = quic.RangeSet{}
+	r.bodyBase = 0
+	r.finSeen = false
+	st := c.conn.OpenStream(false)
+	r.reqStr = st
+	st.OnData(func(off uint64, data []byte) {
+		if r.gen != gen {
+			return
+		}
+		r.touch()
+		r.onReliableData(off, data)
+	})
+	st.OnFin(func(sz uint64) {
+		if r.gen != gen {
+			return
+		}
+		r.onReliableFin(sz)
+	})
+	st.Write(encodeHead("GET "+r.path+" HTTP/1.1", r.reqHeaders))
+	st.CloseWrite()
+	if c.rec.RequestTimeout > 0 && !r.complete && !r.failed {
+		if r.deadline == nil {
+			r.deadline = sim.NewTimer(c.sim, r.onDeadline)
+		}
+		r.deadline.Arm(c.rec.RequestTimeout)
+	}
+}
+
+// touch records attempt progress by pushing the deadline back.
+func (r *Response) touch() {
+	if r.deadline != nil && r.deadline.Armed() {
+		r.deadline.Arm(r.client.rec.RequestTimeout)
+	}
+}
+
+// onDeadline fires when the progress deadline elapses without this attempt
+// receiving a byte. A request can be starved without being dead: the
+// connection may be busy draining an earlier transfer (an abandoned segment
+// body ahead of us in the server's FIFO stream schedule). Retrying then is
+// strictly harmful — the retry queues a second full copy of the response
+// behind the copy already in flight, and the storm feeds itself. So the
+// attempt is only failed when the whole connection has gone quiet for a
+// full timeout (a dead or blacked-out link); while packets are still
+// arriving for anyone, the deadline re-arms for the remaining quiet budget.
+func (r *Response) onDeadline() {
+	c := r.client
+	if c.conn != nil && !c.conn.Closed() {
+		if quiet := c.sim.Now() - c.conn.LastActivity(); quiet < c.rec.RequestTimeout {
+			r.deadline.Arm(c.rec.RequestTimeout - quiet)
+			return
+		}
+	}
+	r.failAttempt(ErrRequestTimeout)
+}
+
+// failAttempt gives up on the current attempt and schedules the next one
+// per the retry policy, or fails the request for good when attempts are
+// exhausted.
+func (r *Response) failAttempt(reason error) {
+	if r.complete || r.failed {
+		return
+	}
+	r.gen++ // orphan the stale attempt's callbacks
+	if r.deadline != nil {
+		r.deadline.Stop()
+	}
+	c := r.client
+	if r.attempt >= c.rec.Retry.MaxAttempts {
+		r.fail(reason)
+		return
+	}
+	wait := c.rec.Retry.backoff(r.attempt, c.sim.Rand())
+	if r.retryTimer == nil {
+		r.retryTimer = sim.NewTimer(c.sim, func() { c.issue(r) })
+	}
+	r.retryTimer.Arm(wait)
+}
+
+// fail resolves the response as permanently failed.
+func (r *Response) fail(reason error) {
+	if r.complete || r.failed {
+		return
+	}
+	r.failed = true
+	r.gen++
+	if r.deadline != nil {
+		r.deadline.Stop()
+	}
+	if r.retryTimer != nil {
+		r.retryTimer.Stop()
+	}
+	r.client.detach(r)
+	if r.OnFail != nil {
+		r.OnFail(reason)
+	}
+}
+
+// Failed reports whether the request was abandoned after exhausting
+// recovery.
+func (r *Response) Failed() bool { return r.failed }
+
+// detach removes r from the in-flight sweep list.
+func (c *Client) detach(r *Response) {
+	for i, x := range c.inflight {
+		if x == r {
+			c.inflight = append(c.inflight[:i], c.inflight[i+1:]...)
+			return
+		}
+	}
+}
+
+// onConnClose fails over to the next open spare connection and re-drives
+// every in-flight request through the retry policy.
+func (c *Client) onConnClose(err error) {
+	next := (*quic.Conn)(nil)
+	for _, cn := range c.conns {
+		if !cn.Closed() {
+			next = cn
+			break
+		}
+	}
+	c.conn = next
+	if next != nil {
+		// Stream IDs restart on the new connection: per-conn adoption state
+		// from the dead one no longer means anything.
+		c.pendingByStream = make(map[uint64]pendingRef)
+		c.earlyStreams = make(map[uint64]*earlyStream)
+		next.OnStream(c.onServerStream)
+		next.OnClose(c.onConnClose)
+	}
+	swept := append([]*Response(nil), c.inflight...)
+	for _, r := range swept {
+		if next == nil {
+			r.fail(ErrNoTransport)
+		} else {
+			r.failAttempt(err)
+		}
+	}
 }
 
 // onReliableData handles bytes on the request's reliable stream: first the
@@ -258,18 +529,28 @@ func (r *Response) maybeComplete(finKnown bool) {
 		}
 	}
 	r.complete = true
+	if r.deadline != nil {
+		r.deadline.Stop()
+	}
+	if r.retryTimer != nil {
+		r.retryTimer.Stop()
+	}
+	r.client.detach(r)
 	if r.OnComplete != nil {
 		r.OnComplete()
 	}
 }
 
-// adopt binds an announced unreliable stream ID to a response, flushing any
-// data that arrived early.
+// adopt binds an announced unreliable stream ID to the current attempt of
+// a response, flushing any data that arrived early. The binding carries
+// the attempt's generation: if the response is later retried, deliveries
+// from this stream are dropped instead of polluting the fresh attempt.
 func (c *Client) adopt(streamID uint64, r *Response) {
-	c.pendingByStream[streamID] = r
+	ref := pendingRef{r: r, gen: r.gen}
+	c.pendingByStream[streamID] = ref
 	if early, ok := c.earlyStreams[streamID]; ok {
 		delete(c.earlyStreams, streamID)
-		c.bind(early.st, r)
+		c.bind(early.st, ref)
 		for _, ch := range early.chunks {
 			r.deliverBody(int64(ch.off), ch.data)
 		}
@@ -284,16 +565,19 @@ func (c *Client) adopt(streamID uint64, r *Response) {
 
 // onServerStream handles server-initiated streams (unreliable bodies).
 func (c *Client) onServerStream(st *quic.Stream) {
-	if r, ok := c.pendingByStream[st.ID()]; ok {
-		c.bind(st, r)
+	if ref, ok := c.pendingByStream[st.ID()]; ok {
+		c.bind(st, ref)
 		return
 	}
 	// Head not seen yet: buffer.
 	early := &earlyStream{st: st}
 	c.earlyStreams[st.ID()] = early
 	st.OnData(func(off uint64, data []byte) {
-		if r, ok := c.pendingByStream[st.ID()]; ok {
-			r.deliverBody(int64(off), data)
+		if ref, ok := c.pendingByStream[st.ID()]; ok {
+			if ref.r.gen == ref.gen {
+				ref.r.touch()
+				ref.r.deliverBody(int64(off), data)
+			}
 			return
 		}
 		cp := make([]byte, len(data))
@@ -301,15 +585,20 @@ func (c *Client) onServerStream(st *quic.Stream) {
 		early.chunks = append(early.chunks, earlyChunk{off: off, data: cp})
 	})
 	st.OnLost(func(off, n uint64) {
-		if r, ok := c.pendingByStream[st.ID()]; ok {
-			r.deliverLoss(int64(off), int64(n))
+		if ref, ok := c.pendingByStream[st.ID()]; ok {
+			if ref.r.gen == ref.gen {
+				ref.r.touch()
+				ref.r.deliverLoss(int64(off), int64(n))
+			}
 			return
 		}
 		early.losses = append(early.losses, [2]uint64{off, n})
 	})
 	st.OnFin(func(final uint64) {
-		if r, ok := c.pendingByStream[st.ID()]; ok {
-			r.onUnreliableFin(final)
+		if ref, ok := c.pendingByStream[st.ID()]; ok {
+			if ref.r.gen == ref.gen {
+				ref.r.onUnreliableFin(final)
+			}
 			return
 		}
 		early.fin = true
@@ -317,9 +606,26 @@ func (c *Client) onServerStream(st *quic.Stream) {
 	})
 }
 
-// bind attaches response delivery to an adopted unreliable stream.
-func (c *Client) bind(st *quic.Stream, r *Response) {
-	st.OnData(func(off uint64, data []byte) { r.deliverBody(int64(off), data) })
-	st.OnLost(func(off, n uint64) { r.deliverLoss(int64(off), int64(n)) })
-	st.OnFin(func(final uint64) { r.onUnreliableFin(final) })
+// bind attaches response delivery to an adopted unreliable stream, gated on
+// the adopting attempt's generation.
+func (c *Client) bind(st *quic.Stream, ref pendingRef) {
+	r := ref.r
+	gen := ref.gen
+	st.OnData(func(off uint64, data []byte) {
+		if r.gen == gen {
+			r.touch()
+			r.deliverBody(int64(off), data)
+		}
+	})
+	st.OnLost(func(off, n uint64) {
+		if r.gen == gen {
+			r.touch()
+			r.deliverLoss(int64(off), int64(n))
+		}
+	})
+	st.OnFin(func(final uint64) {
+		if r.gen == gen {
+			r.onUnreliableFin(final)
+		}
+	})
 }

@@ -13,6 +13,7 @@ import (
 
 type fixture struct {
 	s      *sim.Sim
+	path   *netem.Path
 	client *Client
 	server *Server
 }
@@ -31,6 +32,7 @@ func newFixture(t *testing.T, mbps float64, queuePkts int, objects map[string]Ob
 	})
 	return &fixture{
 		s:      s,
+		path:   path,
 		client: NewClient(cc),
 		server: NewServer(sc, handler, opts),
 	}

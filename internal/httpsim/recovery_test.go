@@ -1,0 +1,147 @@
+package httpsim
+
+import (
+	"testing"
+	"time"
+
+	"voxel/internal/netem"
+	"voxel/internal/quic"
+	"voxel/internal/sim"
+	"voxel/internal/trace"
+)
+
+func testRecovery() Recovery {
+	return Recovery{
+		RequestTimeout: 2 * time.Second,
+		Retry: RetryPolicy{
+			MaxAttempts: 3,
+			BaseDelay:   100 * time.Millisecond,
+			MaxDelay:    time.Second,
+			Jitter:      0.25,
+		},
+	}
+}
+
+// A request over a fully blackholed link must terminate through the
+// deadline/retry machinery in bounded simulated time — the regression this
+// guards is the legacy client hanging forever on a dead path.
+func TestBlackholedRequestTerminates(t *testing.T) {
+	fx := newFixture(t, 10, 32, map[string]Object{"/a": content(1 << 16)}, ServerOptions{})
+	// Blackhole both directions before the request ever leaves.
+	dead := netem.Window{Start: 0, End: 1 << 62}
+	fx.path.Down.Impair(netem.Blackout{Windows: []netem.Window{dead}}, 1)
+	fx.path.Up.Impair(netem.Blackout{Windows: []netem.Window{dead}}, 2)
+	fx.client.SetRecovery(testRecovery())
+
+	var failErr error
+	var failAt sim.Time
+	resp := fx.client.Get("/a", nil, false, nil)
+	resp.OnFail = func(err error) { failErr, failAt = err, fx.s.Now() }
+	resp.OnComplete = func() { t.Error("request on a dead link cannot complete") }
+
+	// 3 attempts × 2 s deadline + backoffs ≪ 60 s.
+	fx.s.RunUntil(60 * time.Second)
+	if failErr == nil {
+		t.Fatalf("request did not terminate: failed=%v complete=%v", resp.Failed(), resp.Complete())
+	}
+	if failErr != ErrRequestTimeout {
+		t.Fatalf("failed with %v, want %v", failErr, ErrRequestTimeout)
+	}
+	if failAt > 30*time.Second {
+		t.Fatalf("termination took %v of virtual time", failAt)
+	}
+}
+
+// A transient blackout shorter than the retry budget must be survived: the
+// first attempt dies, a retry lands after the link heals, and the request
+// completes.
+func TestRetryAfterTransientBlackout(t *testing.T) {
+	obj := content(1 << 16)
+	fx := newFixture(t, 10, 32, map[string]Object{"/a": obj}, ServerOptions{})
+	dark := netem.Window{Start: 0, End: 3 * time.Second}
+	fx.path.Down.Impair(netem.Blackout{Windows: []netem.Window{dark}}, 1)
+	fx.path.Up.Impair(netem.Blackout{Windows: []netem.Window{dark}}, 2)
+	fx.client.SetRecovery(testRecovery())
+
+	var done bool
+	resp := fx.client.Get("/a", nil, false, nil)
+	resp.OnComplete = func() { done = true }
+	resp.OnFail = func(err error) { t.Errorf("request failed: %v", err) }
+	fx.s.RunUntil(60 * time.Second)
+	if !done {
+		t.Fatal("request did not recover after the blackout lifted")
+	}
+	if resp.BytesReceived() != int64(len(obj)) {
+		t.Fatalf("got %d bytes, want %d", resp.BytesReceived(), len(obj))
+	}
+}
+
+// The deadline must not fire for a request that is merely queued behind
+// another transfer on a live connection: retrying there queues a second
+// full copy behind the first and the storm feeds itself (the bursty-profile
+// regression). The connection is visibly receiving the whole time, so the
+// stuck request waits instead of retrying.
+func TestDeadlineDefersToBusyConn(t *testing.T) {
+	big := content(4 << 20) // ~16 s of transfer at 2 Mbps
+	small := content(1 << 10)
+	fx := newFixture(t, 2, 64, map[string]Object{"/big": big, "/small": small}, ServerOptions{})
+	fx.client.SetRecovery(Recovery{
+		RequestTimeout: time.Second, // far below the big transfer's duration
+		Retry:          RetryPolicy{MaxAttempts: 2, BaseDelay: 100 * time.Millisecond},
+	})
+
+	r1 := fx.client.Get("/big", nil, false, nil)
+	r2 := fx.client.Get("/small", nil, false, nil)
+	var doneBig, doneSmall bool
+	r1.OnComplete = func() { doneBig = true }
+	r2.OnComplete = func() { doneSmall = true }
+	r2.OnFail = func(err error) { t.Errorf("queued request failed: %v", err) }
+	fx.s.RunUntil(120 * time.Second)
+	if !doneBig || !doneSmall {
+		t.Fatalf("big=%v small=%v", doneBig, doneSmall)
+	}
+	if got := fx.server.conn.Stats().StreamBytesSent; got > uint64(len(big)+len(small))*11/10 {
+		t.Fatalf("server sent %d bytes for %d of payload: retry storm", got, len(big)+len(small))
+	}
+}
+
+// When the active connection dies, in-flight requests must fail over to the
+// next configured origin and complete there.
+func TestFailoverToSecondOrigin(t *testing.T) {
+	obj := content(1 << 16)
+	objects := map[string]Object{"/a": obj}
+	handler := HandlerFunc(func(path string) (Object, error) {
+		if o, ok := objects[path]; ok {
+			return o, nil
+		}
+		return nil, errNotFound{}
+	})
+	s := sim.New(77)
+	mk := func() (*quic.Conn, *Server) {
+		path := netem.NewPath(s, trace.Constant("t", 10e6, 3600), 32)
+		cc, sc := quic.NewPair(s, path, quic.Config{}, quic.Config{})
+		return cc, NewServer(sc, handler, ServerOptions{})
+	}
+	c1, _ := mk()
+	c2, _ := mk()
+	client := NewClient(c1)
+	client.SetRecovery(testRecovery())
+	client.AddFailover(c2)
+
+	var done bool
+	resp := client.Get("/a", nil, false, nil)
+	resp.OnComplete = func() { done = true }
+	resp.OnFail = func(err error) { t.Errorf("request failed: %v", err) }
+	// Kill the primary immediately: the response must come from origin 2.
+	s.Schedule(10*time.Millisecond, func() { c1.Close(quic.ErrIdleTimeout) })
+	s.RunUntil(60 * time.Second)
+	if !done {
+		t.Fatal("request did not fail over")
+	}
+	if resp.BytesReceived() != int64(len(obj)) {
+		t.Fatalf("got %d bytes, want %d", resp.BytesReceived(), len(obj))
+	}
+	if client.Conn() != c2 {
+		t.Fatal("client still pinned to the dead origin")
+	}
+}

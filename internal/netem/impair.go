@@ -1,0 +1,261 @@
+// Impairments: deterministic fault injection on links.
+//
+// The base Link models only what the paper's testbed router does — shaping
+// plus a drop-tail queue. Real last miles also lose packets in bursts,
+// reorder them, jitter their delivery, duplicate them, and go dark entirely
+// during handovers. An Impairment chain attached to a link perturbs each
+// datagram as it leaves the serializer, driven by a per-link seeded RNG so
+// that every trial remains exactly reproducible: the same seed yields the
+// same drop/reorder/duplication schedule, packet for packet.
+package netem
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"voxel/internal/sim"
+)
+
+// Fate is what the impairment chain decided for one datagram. The zero
+// value delivers the datagram untouched.
+type Fate struct {
+	// Drop discards the datagram after it consumed its serialization time
+	// (wire loss, not queue loss — the queue already charged it).
+	Drop bool
+	// ExtraDelay is added to the link's propagation delay. A large enough
+	// value lets later datagrams overtake this one (reordering).
+	ExtraDelay sim.Time
+	// Duplicate delivers a second copy of the datagram.
+	Duplicate bool
+}
+
+// Impairment perturbs datagram delivery. Apply is called once per datagram
+// at the moment it finishes serialization; implementations fold their
+// verdict into f (drop wins over everything, delays add, duplication ORs).
+// Implementations may keep per-link state (e.g. a Gilbert–Elliott channel
+// state) and must draw randomness only from rng.
+type Impairment interface {
+	Apply(now sim.Time, rng *rand.Rand, f *Fate)
+}
+
+// Chain applies impairments in order.
+type Chain []Impairment
+
+// Apply implements Impairment.
+func (c Chain) Apply(now sim.Time, rng *rand.Rand, f *Fate) {
+	for _, imp := range c {
+		imp.Apply(now, rng, f)
+	}
+}
+
+// IIDLoss drops each datagram independently with probability P.
+type IIDLoss struct {
+	P float64
+}
+
+// Apply implements Impairment.
+func (l IIDLoss) Apply(now sim.Time, rng *rand.Rand, f *Fate) {
+	if l.P > 0 && rng.Float64() < l.P {
+		f.Drop = true
+	}
+}
+
+// GilbertElliott is the classic two-state burst-loss channel: a Good and a
+// Bad state with per-packet transition probabilities and a per-state loss
+// probability. Bursts come from the Bad state's high loss rate combined
+// with its persistence (small PBadGood). The state is per-instance, so
+// every link needs its own value (NewProfile hands out fresh ones).
+type GilbertElliott struct {
+	PGoodBad float64 // P(transition Good→Bad) per datagram
+	PBadGood float64 // P(transition Bad→Good) per datagram
+	LossGood float64 // loss probability in Good
+	LossBad  float64 // loss probability in Bad
+
+	bad bool
+}
+
+// Apply implements Impairment.
+func (g *GilbertElliott) Apply(now sim.Time, rng *rand.Rand, f *Fate) {
+	if g.bad {
+		if g.PBadGood > 0 && rng.Float64() < g.PBadGood {
+			g.bad = false
+		}
+	} else {
+		if g.PGoodBad > 0 && rng.Float64() < g.PGoodBad {
+			g.bad = true
+		}
+	}
+	p := g.LossGood
+	if g.bad {
+		p = g.LossBad
+	}
+	if p > 0 && rng.Float64() < p {
+		f.Drop = true
+	}
+}
+
+// Jitter adds a uniform random delay in [0, Max) to each datagram. On its
+// own this mildly reorders traffic too, since delays are independent.
+type Jitter struct {
+	Max sim.Time
+}
+
+// Apply implements Impairment.
+func (j Jitter) Apply(now sim.Time, rng *rand.Rand, f *Fate) {
+	if j.Max > 0 {
+		f.ExtraDelay += sim.Time(rng.Int63n(int64(j.Max)))
+	}
+}
+
+// Reorder holds back a fraction P of datagrams by Delay, letting packets
+// sent after them arrive first.
+type Reorder struct {
+	P     float64
+	Delay sim.Time
+}
+
+// Apply implements Impairment.
+func (r Reorder) Apply(now sim.Time, rng *rand.Rand, f *Fate) {
+	if r.P > 0 && rng.Float64() < r.P {
+		f.ExtraDelay += r.Delay
+	}
+}
+
+// Duplicate delivers a second copy of a fraction P of datagrams.
+type Duplicate struct {
+	P float64
+}
+
+// Apply implements Impairment.
+func (d Duplicate) Apply(now sim.Time, rng *rand.Rand, f *Fate) {
+	if d.P > 0 && rng.Float64() < d.P {
+		f.Duplicate = true
+	}
+}
+
+// Window is one scheduled outage interval [Start, End).
+type Window struct {
+	Start, End sim.Time
+}
+
+// Blackout drops every datagram whose serialization completes inside one of
+// the scheduled windows — a dead radio during a handover. Windows must be
+// sorted by Start and non-overlapping.
+type Blackout struct {
+	Windows []Window
+}
+
+// Apply implements Impairment.
+func (b Blackout) Apply(now sim.Time, rng *rand.Rand, f *Fate) {
+	for _, w := range b.Windows {
+		if now >= w.Start && now < w.End {
+			f.Drop = true
+			return
+		}
+		if now < w.Start {
+			return
+		}
+	}
+}
+
+// Flap models a periodically dying link: starting at Offset, the link goes
+// dark for Down out of every Period (flaky WiFi losing its AP).
+type Flap struct {
+	Period sim.Time
+	Down   sim.Time
+	Offset sim.Time
+}
+
+// Apply implements Impairment.
+func (fl Flap) Apply(now sim.Time, rng *rand.Rand, f *Fate) {
+	if fl.Period <= 0 || fl.Down <= 0 || now < fl.Offset {
+		return
+	}
+	if (now-fl.Offset)%fl.Period < fl.Down {
+		f.Drop = true
+	}
+}
+
+// --- canonical profiles ---
+
+// Profile names accepted by NewProfile. "clean" (and "") attach nothing:
+// a clean-profile run is bit-identical to an unimpaired one.
+const (
+	ProfileClean    = "clean"
+	ProfileBursty   = "bursty"
+	ProfileFlaky    = "flaky-wifi"
+	ProfileHandover = "handover-blackout"
+)
+
+// Profiles lists the canonical impairment profile names.
+func Profiles() []string {
+	return []string{ProfileClean, ProfileBursty, ProfileFlaky, ProfileHandover}
+}
+
+// NewProfile builds fresh downlink/uplink impairment chains for the named
+// profile. Chains carry per-instance state (the Gilbert–Elliott channel),
+// so each link needs its own pair — never share one across links. The
+// "clean" profile (and the empty name) returns nil chains.
+func NewProfile(name string) (down, up Impairment, err error) {
+	switch name {
+	case "", ProfileClean:
+		return nil, nil, nil
+	case ProfileBursty:
+		// Burst loss on the bottleneck: short, dense loss episodes atop a
+		// near-lossless baseline; ACK path sees rare stray loss.
+		return Chain{
+				&GilbertElliott{PGoodBad: 0.006, PBadGood: 0.3, LossGood: 0.0003, LossBad: 0.3},
+				Jitter{Max: 3 * time.Millisecond},
+			}, Chain{
+				IIDLoss{P: 0.001},
+			}, nil
+	case ProfileFlaky:
+		// Contended WiFi: burst loss, heavy jitter, visible reordering and
+		// duplication, plus a sub-second AP dropout every 20 s.
+		return Chain{
+				&GilbertElliott{PGoodBad: 0.02, PBadGood: 0.2, LossGood: 0.001, LossBad: 0.3},
+				Jitter{Max: 25 * time.Millisecond},
+				Reorder{P: 0.02, Delay: 40 * time.Millisecond},
+				Duplicate{P: 0.005},
+				Flap{Period: 20 * time.Second, Down: 700 * time.Millisecond, Offset: 11 * time.Second},
+			}, Chain{
+				IIDLoss{P: 0.005},
+				Jitter{Max: 10 * time.Millisecond},
+			}, nil
+	case ProfileHandover:
+		// Cellular handovers: multi-second total blackouts in both
+		// directions, otherwise a mostly clean link.
+		windows := []Window{
+			{Start: 25 * time.Second, End: 31 * time.Second},
+			{Start: 95 * time.Second, End: 99 * time.Second},
+			{Start: 160 * time.Second, End: 165 * time.Second},
+		}
+		return Chain{
+				Blackout{Windows: windows},
+				IIDLoss{P: 0.002},
+				Jitter{Max: 5 * time.Millisecond},
+			}, Chain{
+				Blackout{Windows: windows},
+				IIDLoss{P: 0.002},
+			}, nil
+	default:
+		return nil, nil, fmt.Errorf("netem: unknown impairment profile %q (have %v)", name, Profiles())
+	}
+}
+
+// ApplyProfile attaches the named profile to both directions of the path,
+// deriving distinct per-link RNG seeds from seed. A no-op for "clean"/"".
+func ApplyProfile(p *Path, name string, seed int64) error {
+	down, up, err := NewProfile(name)
+	if err != nil {
+		return err
+	}
+	if down != nil {
+		p.Down.Impair(down, seed)
+	}
+	if up != nil {
+		p.Up.Impair(up, seed+0x9E3779B9)
+	}
+	return nil
+}

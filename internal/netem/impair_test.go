@@ -1,0 +1,235 @@
+package netem
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"voxel/internal/sim"
+)
+
+// runSchedule pumps n equal datagrams through an impaired link and returns
+// the full observable schedule — per-packet delivery times (including
+// duplicates) plus the final counters — as one comparable string.
+func runSchedule(imp Impairment, seed int64, n int) string {
+	s := sim.New(1)
+	l := NewFixedLink(s, 8e6, 10*time.Millisecond, n*2)
+	l.Impair(imp, seed)
+	var events []string
+	for i := 0; i < n; i++ {
+		i := i
+		l.Send(Datagram{Size: 1200, Deliver: func() {
+			events = append(events, fmt.Sprintf("%d@%d", i, s.Now()))
+		}})
+	}
+	s.Run()
+	st := l.Stats()
+	return fmt.Sprintf("%v drops=%d dup=%d", events, st.ImpairedDrops, st.Duplicated)
+}
+
+// Every impairment must be fully deterministic: the same seed yields a
+// byte-identical delivery schedule, and a different seed (for the random
+// ones) yields a different one. Run under -race this also shows the chains
+// share no hidden global state.
+func TestImpairmentDeterminism(t *testing.T) {
+	cases := []struct {
+		name   string
+		make   func() Impairment // fresh value per run: chains carry state
+		seeded bool              // draws randomness (different seed ⇒ different schedule)
+	}{
+		{"iid-loss", func() Impairment { return IIDLoss{P: 0.2} }, true},
+		{"gilbert-elliott", func() Impairment {
+			return &GilbertElliott{PGoodBad: 0.1, PBadGood: 0.3, LossGood: 0.01, LossBad: 0.6}
+		}, true},
+		{"jitter", func() Impairment { return Jitter{Max: 20 * time.Millisecond} }, true},
+		{"reorder", func() Impairment { return Reorder{P: 0.3, Delay: 15 * time.Millisecond} }, true},
+		{"duplicate", func() Impairment { return Duplicate{P: 0.3} }, true},
+		{"blackout", func() Impairment {
+			return Blackout{Windows: []Window{{Start: 20 * time.Millisecond, End: 60 * time.Millisecond}}}
+		}, false},
+		{"flap", func() Impairment {
+			return Flap{Period: 50 * time.Millisecond, Down: 10 * time.Millisecond}
+		}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := runSchedule(tc.make(), 42, 300)
+			b := runSchedule(tc.make(), 42, 300)
+			if a != b {
+				t.Fatalf("same seed, different schedules:\n%s\n%s", a, b)
+			}
+			if tc.seeded {
+				c := runSchedule(tc.make(), 43, 300)
+				if a == c {
+					t.Fatal("different seeds produced identical schedules")
+				}
+			}
+		})
+	}
+}
+
+// The canonical profiles must be deterministic end to end too — NewProfile
+// hands out fresh stateful chains, so two builds with the same seed must
+// replay the same fate sequence.
+func TestProfileDeterminism(t *testing.T) {
+	for _, name := range Profiles() {
+		if name == ProfileClean {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			mk := func() Impairment {
+				down, _, err := NewProfile(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return down
+			}
+			a := runSchedule(mk(), 7, 1000)
+			if b := runSchedule(mk(), 7, 1000); a != b {
+				t.Fatalf("profile %q not deterministic", name)
+			}
+		})
+	}
+}
+
+func TestImpairmentEffects(t *testing.T) {
+	t.Run("iid-loss-rate", func(t *testing.T) {
+		s := sim.New(1)
+		l := NewFixedLink(s, 8e6, 0, 1<<14)
+		l.Impair(IIDLoss{P: 0.1}, 1)
+		delivered := 0
+		for i := 0; i < 10000; i++ {
+			l.Send(Datagram{Size: 100, Deliver: func() { delivered++ }})
+		}
+		s.Run()
+		st := l.Stats()
+		if st.ImpairedDrops < 800 || st.ImpairedDrops > 1200 {
+			t.Fatalf("10%% loss over 10k packets dropped %d", st.ImpairedDrops)
+		}
+		if uint64(delivered) != st.Delivered || st.Delivered+st.ImpairedDrops != 10000 {
+			t.Fatalf("conservation violated: %+v delivered=%d", st, delivered)
+		}
+	})
+	t.Run("gilbert-elliott-bursts", func(t *testing.T) {
+		// With sticky states, losses must clump: the number of loss runs
+		// should be far below what i.i.d. loss at the same rate would give.
+		s := sim.New(1)
+		l := NewFixedLink(s, 8e6, 0, 1<<15)
+		l.Impair(&GilbertElliott{PGoodBad: 0.005, PBadGood: 0.05, LossBad: 0.9}, 3)
+		n := 20000
+		got := make([]bool, n)
+		for i := 0; i < n; i++ {
+			i := i
+			l.Send(Datagram{Size: 100, Deliver: func() { got[i] = true }})
+		}
+		s.Run()
+		losses, runs := 0, 0
+		for i, ok := range got {
+			if !ok {
+				losses++
+				if i == 0 || got[i-1] {
+					runs++
+				}
+			}
+		}
+		if losses == 0 {
+			t.Fatal("no losses")
+		}
+		if avg := float64(losses) / float64(runs); avg < 3 {
+			t.Fatalf("losses not bursty: %d losses in %d runs (avg run %.1f)", losses, runs, avg)
+		}
+	})
+	t.Run("duplicate-delivers-twice", func(t *testing.T) {
+		s := sim.New(1)
+		l := NewFixedLink(s, 8e6, 0, 1<<12)
+		l.Impair(Duplicate{P: 1}, 1)
+		delivered := 0
+		done := 0
+		for i := 0; i < 100; i++ {
+			l.Send(Datagram{Size: 100,
+				Deliver: func() { delivered++ },
+				Done:    func() { done++ },
+			})
+		}
+		s.Run()
+		if delivered != 200 {
+			t.Fatalf("delivered %d, want 200 (every packet duplicated)", delivered)
+		}
+		if done != 100 {
+			t.Fatalf("Done ran %d times, want exactly once per datagram", done)
+		}
+		if st := l.Stats(); st.Duplicated != 100 {
+			t.Fatalf("stats: %+v", st)
+		}
+	})
+	t.Run("blackout-window", func(t *testing.T) {
+		s := sim.New(1)
+		l := NewFixedLink(s, 8e6, 0, 1<<12)
+		l.Impair(Blackout{Windows: []Window{{Start: 100 * time.Millisecond, End: 200 * time.Millisecond}}}, 1)
+		var deliveredAt []sim.Time
+		send := func() { l.Send(Datagram{Size: 100, Deliver: func() { deliveredAt = append(deliveredAt, s.Now()) }}) }
+		for _, at := range []sim.Time{50 * time.Millisecond, 150 * time.Millisecond, 250 * time.Millisecond} {
+			s.Schedule(at, send)
+		}
+		s.Run()
+		if len(deliveredAt) != 2 {
+			t.Fatalf("deliveries %v: packet inside the window must vanish", deliveredAt)
+		}
+		if st := l.Stats(); st.ImpairedDrops != 1 {
+			t.Fatalf("stats: %+v", st)
+		}
+	})
+	t.Run("reorder-overtakes", func(t *testing.T) {
+		s := sim.New(1)
+		l := NewFixedLink(s, 8e7, 0, 1<<12)
+		l.Impair(Reorder{P: 0.5, Delay: 50 * time.Millisecond}, 9)
+		var order []int
+		for i := 0; i < 50; i++ {
+			i := i
+			l.Send(Datagram{Size: 100, Deliver: func() { order = append(order, i) }})
+		}
+		s.Run()
+		inverted := false
+		for i := 1; i < len(order); i++ {
+			if order[i] < order[i-1] {
+				inverted = true
+				break
+			}
+		}
+		if !inverted {
+			t.Fatalf("no reordering observed: %v", order)
+		}
+	})
+}
+
+// A done callback must run exactly once per datagram whatever its fate —
+// dropped on the wire, delivered once, or duplicated — because the
+// transport uses it to recycle the encode buffer.
+func TestDoneRunsOncePerFate(t *testing.T) {
+	s := sim.New(1)
+	l := NewFixedLink(s, 8e6, 5*time.Millisecond, 1<<13)
+	l.Impair(Chain{IIDLoss{P: 0.3}, Duplicate{P: 0.3}, Jitter{Max: 3 * time.Millisecond}}, 5)
+	const n = 2000
+	done := make([]int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		l.Send(Datagram{Size: 500, Done: func() { done[i]++ }})
+	}
+	s.Run()
+	for i, c := range done {
+		if c != 1 {
+			t.Fatalf("datagram %d: Done ran %d times", i, c)
+		}
+	}
+}
+
+func TestUnknownProfile(t *testing.T) {
+	if _, _, err := NewProfile("nope"); err == nil {
+		t.Fatal("expected error for unknown profile")
+	}
+	for _, name := range append(Profiles(), "") {
+		if _, _, err := NewProfile(name); err != nil {
+			t.Fatalf("NewProfile(%q): %v", name, err)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 package netem
 
 import (
+	"math/rand"
 	"time"
 
 	"voxel/internal/sim"
@@ -18,20 +19,30 @@ import (
 // governs serialization time and queue occupancy. Deliver runs at the
 // receiver when (and if) the packet arrives; dropped packets are silently
 // discarded, as on a real drop-tail queue.
+//
+// Done, when set, runs exactly once when the link is finished with the
+// datagram — after the final delivery (impairments may duplicate a packet)
+// or at the instant an impairment drops it on the wire. Senders that pool
+// their encode buffers reclaim them in Done, never in Deliver. Done is NOT
+// called when Send itself returns false: the datagram never entered the
+// link, so the caller still owns it.
 type Datagram struct {
 	Size    int
 	Deliver func()
+	Done    func()
 }
 
 // LinkStats counts what happened on a link.
 type LinkStats struct {
-	Sent       uint64 // datagrams offered to the link
-	Dropped    uint64 // datagrams dropped at the queue
-	Delivered  uint64 // datagrams handed to receivers
-	BytesSent  uint64 // bytes serialized onto the wire
-	MaxQueue   int    // high-water mark of the queue, in packets
-	BusyTime   sim.Time
-	QueueDelay sim.Time // cumulative time datagrams spent queued
+	Sent          uint64 // datagrams offered to the link
+	Dropped       uint64 // datagrams dropped at the queue
+	Delivered     uint64 // datagrams handed to receivers
+	ImpairedDrops uint64 // datagrams dropped on the wire by an impairment
+	Duplicated    uint64 // extra copies delivered by an impairment
+	BytesSent     uint64 // bytes serialized onto the wire
+	MaxQueue      int    // high-water mark of the queue, in packets
+	BusyTime      sim.Time
+	QueueDelay    sim.Time // cumulative time datagrams spent queued
 }
 
 // Link is a unidirectional link: a drop-tail queue drained at a
@@ -41,6 +52,9 @@ type Link struct {
 	rate     func(sim.Time) float64 // bits per second
 	delay    sim.Time
 	capacity int // max datagrams queued or in service
+
+	imp Impairment
+	rng *rand.Rand
 
 	queue     []queued
 	busyUntil sim.Time
@@ -70,6 +84,19 @@ func NewTraceLink(s *sim.Sim, tr *trace.Trace, delay sim.Time, queuePackets int)
 // NewFixedLink builds a link with a constant rate in bps.
 func NewFixedLink(s *sim.Sim, bps float64, delay sim.Time, queuePackets int) *Link {
 	return NewLink(s, func(sim.Time) float64 { return bps }, delay, queuePackets)
+}
+
+// Impair attaches an impairment chain to the link, with its own RNG seeded
+// by seed so the fault schedule is independent of everything else in the
+// simulation (and reproducible: same seed, same schedule). Passing nil
+// removes impairments; the link is then exactly its unimpaired self.
+func (l *Link) Impair(imp Impairment, seed int64) {
+	l.imp = imp
+	if imp != nil {
+		l.rng = rand.New(rand.NewSource(seed))
+	} else {
+		l.rng = nil
+	}
 }
 
 // Stats returns a snapshot of the link counters.
@@ -125,10 +152,33 @@ func (l *Link) serveNext() {
 	l.busyUntil = l.sim.Now() + serialization
 
 	deliver := q.d.Deliver
+	done := q.d.Done
 	l.sim.Schedule(serialization, func() {
+		var f Fate
+		if l.imp != nil {
+			l.imp.Apply(l.sim.Now(), l.rng, &f)
+		}
+		if f.Drop {
+			l.stats.ImpairedDrops++
+			if done != nil {
+				done()
+			}
+			l.serveNext()
+			return
+		}
 		l.stats.Delivered++
+		delay := l.delay + f.ExtraDelay
 		if deliver != nil {
-			l.sim.Schedule(l.delay, deliver)
+			l.sim.Schedule(delay, deliver)
+			if f.Duplicate {
+				l.stats.Duplicated++
+				l.sim.Schedule(delay, deliver)
+			}
+		}
+		// Same instant as the last delivery, later insertion sequence: the
+		// receiver always sees the bytes before the sender reclaims them.
+		if done != nil {
+			l.sim.Schedule(delay, done)
 		}
 		l.serveNext()
 	})

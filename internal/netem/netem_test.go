@@ -87,7 +87,7 @@ func TestQueueDrainsThenAcceptsMore(t *testing.T) {
 func TestTraceLinkFollowsRate(t *testing.T) {
 	s := sim.New(1)
 	// 8 Mbps for 1 s, then 0.8 Mbps.
-	tr := trace.New("step", []float64{8e6, 0.8e6, 0.8e6, 0.8e6})
+	tr := trace.MustNew("step", []float64{8e6, 0.8e6, 0.8e6, 0.8e6})
 	l := NewTraceLink(s, tr, 0, 1000)
 	var times []sim.Time
 	// Packet served at t=0 (fast), then one served at t≈1.2s (slow).

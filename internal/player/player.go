@@ -75,6 +75,12 @@ type Config struct {
 	// once it has been produced (i+1 segment durations after the session
 	// start), the natural regime for the paper's low-latency motivation.
 	Live bool
+	// Recovery configures the HTTP client's request deadline and retry
+	// policy. The zero value keeps the legacy fire-and-forget client.
+	Recovery httpsim.Recovery
+	// FailoverConns are spare connections to additional origin servers; the
+	// client fails over to them when the primary connection closes.
+	FailoverConns []*quic.Conn
 }
 
 // SegmentResult records one delivered segment.
@@ -105,6 +111,7 @@ type Results struct {
 	LostInTransit  int64 // transport-reported losses (pre-recovery)
 	RecoveredBytes int64 // via selective retransmission
 	Switches       int
+	FailedRequests int // requests abandoned after deadline/retry/failover
 }
 
 // BufRatio is total stall time over media duration (§5.1).
@@ -263,6 +270,12 @@ func New(s *sim.Sim, conn *quic.Conn, v *video.Video, m *dash.Manifest, cfg Conf
 		man:    m,
 		anal:   &prep.Analyzer{Model: cfg.Model, Metric: cfg.Metric},
 	}
+	if cfg.Recovery != (httpsim.Recovery{}) {
+		p.client.SetRecovery(cfg.Recovery)
+	}
+	for _, fc := range cfg.FailoverConns {
+		p.client.AddFailover(fc)
+	}
 	p.segStates = make([]*segState, m.NumSegments())
 	return p
 }
@@ -280,6 +293,15 @@ func (p *Player) Run(onDone func()) {
 		} else {
 			p.tputEstimate = 1e6
 		}
+		p.lastSync = p.sim.Now()
+		p.step()
+	}
+	resp.OnFail = func(error) {
+		// The manifest object is only a throughput probe here (the parsed
+		// manifest was handed to New); start playback on a default estimate
+		// rather than wedging the session.
+		p.results.FailedRequests++
+		p.tputEstimate = 1e6
 		p.lastSync = p.sim.Now()
 		p.step()
 	}
@@ -518,6 +540,28 @@ func (p *Player) issueRequests(dl *download, seg *dash.SegmentInfo) {
 			dl.gotBytes += int(relSpec.TotalBytes())
 			p.maybeFinishDownload(dl)
 		}
+		rel.OnFail = func(error) {
+			if dl.finished || p.dl != dl {
+				return
+			}
+			p.results.FailedRequests++
+			dl.relDone = true
+			// Salvage what arrived (body offsets are concatenated-range
+			// positions); the rest of the planned reliable part is lost.
+			for _, br := range rel.Received().Ranges() {
+				dl.gotBytes += int(br.Len())
+				mapBody(relSpec, int64(br.Start), int64(br.Len()), func(s, e int64) {
+					dl.state.received.Add(uint64(s-base), uint64(e-base))
+				})
+			}
+			for _, r := range relSpec {
+				s0, e0 := uint64(r[0]-base), uint64(r[1]-base)
+				for _, g := range dl.state.received.Gaps(s0, e0) {
+					dl.state.lost.Add(g.Start, g.End)
+				}
+			}
+			p.maybeFinishDownload(dl)
+		}
 
 		var bodyRanges [][2]int
 		if p.cfg.Mode == ModeOpaque || !dl.cand.Virtual {
@@ -606,6 +650,22 @@ func (p *Player) wireBody(dl *download) {
 			return
 		}
 		dl.bodyDone = true
+		p.maybeFinishDownload(dl)
+	}
+	body.OnFail = func(error) {
+		if dl.finished || p.dl != dl {
+			return
+		}
+		p.results.FailedRequests++
+		dl.bodyDone = true
+		// §4.3: keep the partial segment. Planned bytes that never arrived
+		// are marked lost so scoring and selective retransmission see them.
+		for _, r := range spec {
+			s0, e0 := uint64(r[0]-segStart), uint64(r[1]-segStart)
+			for _, g := range dl.state.received.Gaps(s0, e0) {
+				dl.state.lost.Add(g.Start, g.End)
+			}
+		}
 		p.maybeFinishDownload(dl)
 	}
 }
@@ -863,6 +923,10 @@ func (p *Player) maybeSelectiveRetx() {
 				p.results.Segments[st.resultIx].Score = p.scoreSegment(st)
 				p.results.Segments[st.resultIx].GotBytes = int(st.received.CoveredBytes())
 			}
+		}
+		resp.OnFail = func(error) {
+			p.results.FailedRequests++
+			p.retxActive = nil // the repair is best-effort; move on
 		}
 		return
 	}

@@ -85,7 +85,7 @@ func TestRestartAccountsWaste(t *testing.T) {
 			samples[i] = 0.5e6
 		}
 	}
-	tr := trace.New("sawtooth", samples)
+	tr := trace.MustNew("sawtooth", samples)
 	r := buildRig(t, tr, 32, 12, Config{Algorithm: abr.NewBola(), Mode: ModeReliable, BufferSegments: 2})
 	res := r.run(t, 40*time.Minute)
 	restarts := 0

@@ -55,7 +55,9 @@ func Orderings() []Ordering {
 
 // Order returns the download order of frame indices for the segment under
 // ordering o. The I-frame is always first; dropping proceeds from the tail.
-func Order(s *video.Segment, o Ordering) []int {
+// Unknown orderings are an error: plans are persisted, so a bad ordering
+// value usually means a corrupt or newer plan file, not a programmer slip.
+func Order(s *video.Segment, o Ordering) ([]int, error) {
 	n := len(s.Frames)
 	order := make([]int, 0, n)
 	order = append(order, 0) // the I-frame
@@ -90,9 +92,19 @@ func Order(s *video.Segment, o Ordering) []int {
 			return ia < ib
 		})
 	default:
-		panic(fmt.Sprintf("prep: unknown ordering %d", o))
+		return nil, fmt.Errorf("prep: unknown ordering %d (have %v)", o, Orderings())
 	}
-	return append(order, rest...)
+	return append(order, rest...), nil
+}
+
+// MustOrder is Order for orderings known to be valid (anything from
+// Orderings()); it panics on error.
+func MustOrder(s *video.Segment, o Ordering) []int {
+	order, err := Order(s, o)
+	if err != nil {
+		panic(err)
+	}
+	return order
 }
 
 // QoEPoint is one tuple of the manifest's `ssims` attribute: downloading
@@ -207,7 +219,7 @@ func (a *Analyzer) Analyze(s *video.Segment, lowerBound float64) Plan {
 	}
 	bestBytes := -1
 	for _, o := range Orderings() {
-		order := Order(s, o)
+		order := MustOrder(s, o)
 		points := a.curve(s, order)
 		mb, ok := minBytesFor(points, lowerBound)
 		if !ok {
@@ -245,7 +257,7 @@ func (a *Analyzer) AnalyzeVideo(v *video.Video, q video.Quality) []Plan {
 // fraction of the 95 non-I frames) that can be dropped from the tail of
 // the given ordering while the score stays at or above target.
 func (a *Analyzer) MaxDropFraction(s *video.Segment, o Ordering, target float64) float64 {
-	order := Order(s, o)
+	order := MustOrder(s, o)
 	points := a.curve(s, order)
 	// points[k].Frames = k+1 kept; dropping d = len(order)-1-k frames.
 	// Find the smallest k with score >= target (curve is nondecreasing for
@@ -262,7 +274,7 @@ func (a *Analyzer) MaxDropFraction(s *video.Segment, o Ordering, target float64)
 // DropSet returns the frame indices dropped at the segment's maximum
 // tolerance for target under ordering o.
 func (a *Analyzer) DropSet(s *video.Segment, o Ordering, target float64) []int {
-	order := Order(s, o)
+	order := MustOrder(s, o)
 	points := a.curve(s, order)
 	for k := 0; k < len(points); k++ {
 		if points[k].Score >= target {

@@ -17,7 +17,7 @@ func seg(title string, idx int, q video.Quality) *video.Segment {
 func TestOrderIsPermutation(t *testing.T) {
 	s := seg("BBB", 0, 12)
 	for _, o := range Orderings() {
-		order := Order(s, o)
+		order := MustOrder(s, o)
 		if len(order) != video.FramesPerSeg {
 			t.Fatalf("%v: %d entries", o, len(order))
 		}
@@ -34,9 +34,48 @@ func TestOrderIsPermutation(t *testing.T) {
 	}
 }
 
+func TestOrderValidity(t *testing.T) {
+	s := seg("BBB", 0, 12)
+	cases := []struct {
+		name    string
+		o       Ordering
+		wantErr bool
+	}{
+		{"original", OrderOriginal, false},
+		{"unreferenced-last", OrderUnreferencedLast, false},
+		{"inbound-refs", OrderByInboundRefs, false},
+		{"negative", Ordering(-1), true},
+		{"past-end", Ordering(len(Orderings())), true},
+		{"corrupt", Ordering(97), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			order, err := Order(s, tc.o)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Order(%d): expected error, got order of %d frames", tc.o, len(order))
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Order(%v): %v", tc.o, err)
+			}
+			if len(order) != video.FramesPerSeg || order[0] != 0 {
+				t.Fatalf("Order(%v): bad order %v...", tc.o, order[:3])
+			}
+		})
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustOrder should panic on an unknown ordering")
+		}
+	}()
+	MustOrder(s, Ordering(97))
+}
+
 func TestOrderOriginalIsDecodeOrder(t *testing.T) {
 	s := seg("ToS", 3, 12)
-	order := Order(s, OrderOriginal)
+	order := MustOrder(s, OrderOriginal)
 	for i, f := range order {
 		if f != i {
 			t.Fatalf("original order perturbed at %d: %d", i, f)
@@ -46,7 +85,7 @@ func TestOrderOriginalIsDecodeOrder(t *testing.T) {
 
 func TestUnreferencedLastPutsUnreferencedAtTail(t *testing.T) {
 	s := seg("BBB", 1, 12)
-	order := Order(s, OrderUnreferencedLast)
+	order := MustOrder(s, OrderUnreferencedLast)
 	// After the last referenced frame, only unreferenced frames may appear.
 	seenUnref := false
 	for _, f := range order[1:] {
@@ -63,7 +102,7 @@ func TestUnreferencedLastPutsUnreferencedAtTail(t *testing.T) {
 
 func TestInboundRefsOrderRanksByTransitiveDeps(t *testing.T) {
 	s := seg("Sintel", 2, 12)
-	order := Order(s, OrderByInboundRefs)
+	order := MustOrder(s, OrderByInboundRefs)
 	trans := s.TransitiveDependents()
 	for i := 2; i < len(order); i++ {
 		if trans[order[i]] > trans[order[i-1]] {
@@ -83,7 +122,7 @@ func TestInboundRefsOrderRanksByTransitiveDeps(t *testing.T) {
 func TestCurveMonotoneForRankedOrder(t *testing.T) {
 	a := NewAnalyzer()
 	s := seg("BBB", 4, 12)
-	points := a.curve(s, Order(s, OrderByInboundRefs))
+	points := a.curve(s, MustOrder(s, OrderByInboundRefs))
 	for i := 1; i < len(points); i++ {
 		if points[i].Score < points[i-1].Score-1e-9 {
 			t.Fatalf("ranked curve not monotone at %d: %.6f < %.6f",
@@ -234,7 +273,7 @@ func TestAnalyzeSelectsCheapestOrdering(t *testing.T) {
 	plan := a.Analyze(s, bound)
 	// Whatever was chosen must be at least as cheap as every alternative.
 	for _, o := range Orderings() {
-		points := a.curve(s, Order(s, o))
+		points := a.curve(s, MustOrder(s, o))
 		mb, ok := minBytesFor(points, bound)
 		if !ok {
 			continue
@@ -282,7 +321,7 @@ func TestVirtualQualityBelowFullBitrate(t *testing.T) {
 	cheaper := 0
 	for idx := 0; idx < 30; idx++ {
 		s := v.Segment(idx, 12)
-		points := a.curve(s, Order(s, OrderByInboundRefs))
+		points := a.curve(s, MustOrder(s, OrderByInboundRefs))
 		mb, ok := minBytesFor(points, 0.99)
 		if ok && mb < s.TotalBytes() {
 			cheaper++
@@ -335,7 +374,7 @@ func TestReliableRangesCoverHeadersAndIFrame(t *testing.T) {
 
 func TestUnreliableRangesMatchOrder(t *testing.T) {
 	s := seg("ED", 7, 12)
-	order := Order(s, OrderByInboundRefs)
+	order := MustOrder(s, OrderByInboundRefs)
 	ranges := UnreliableRanges(s, order)
 	if len(ranges) != len(order)-1 {
 		t.Fatalf("%d ranges for %d frames", len(ranges), len(order)-1)

@@ -1,12 +1,20 @@
 package quic
 
 import (
+	"errors"
 	"time"
 
 	"voxel/internal/cc"
 	"voxel/internal/netem"
 	"voxel/internal/sim"
 )
+
+// ErrIdleTimeout is the close reason when a connection saw no peer traffic
+// for its configured idle timeout.
+var ErrIdleTimeout = errors.New("quic: idle timeout")
+
+// ErrClosed is the generic close reason for an application-initiated Close.
+var ErrClosed = errors.New("quic: connection closed")
 
 // Config parameterizes a QUIC* connection.
 type Config struct {
@@ -21,6 +29,24 @@ type Config struct {
 	DisablePacing bool
 	// Controller overrides the congestion controller (default CUBIC).
 	Controller cc.Controller
+
+	// IdleTimeout closes the connection when no packet arrives from the
+	// peer for this long. Zero disables idle teardown (legacy behavior:
+	// a dead link leaves the connection probing forever).
+	IdleTimeout sim.Time
+	// KeepAlive, with IdleTimeout set, sends a PING at half the idle
+	// timeout whenever the connection is otherwise quiet, so an idle but
+	// healthy connection is not torn down (e.g. while the player's buffer
+	// is full and no requests are outstanding).
+	KeepAlive bool
+	// PTOBackoffCap bounds the PTO backoff exponent so probe spacing
+	// plateaus at PTO<<cap instead of doubling without bound — during a
+	// multi-second blackout the connection keeps probing at a bounded
+	// period and detects link recovery quickly. Zero keeps the legacy
+	// schedule (persistent congestion at 3 consecutive PTOs resets the
+	// backoff); with a cap, persistent congestion is declared once per
+	// streak and the exponent keeps growing up to the cap.
+	PTOBackoffCap int
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +143,14 @@ type Conn struct {
 	nextSendAt sim.Time
 	sendArmed  bool
 
+	// lifecycle
+	closed    bool
+	closeErr  error
+	onClose   func(error)
+	lastRecv  sim.Time   // virtual time of the last valid packet received
+	idleTimer *sim.Timer // armed iff cfg.IdleTimeout > 0
+	keepTimer *sim.Timer // armed iff cfg.KeepAlive && cfg.IdleTimeout > 0
+
 	// scratch and freelists for the zero-allocation fast path. Everything
 	// here is per-connection and single-threaded (one simulation runs on
 	// one goroutine), so reuse needs no synchronization.
@@ -164,11 +198,30 @@ func newConn(s *sim.Sim, link *netem.Link, cfg Config, isClient bool) *Conn {
 		c.sendArmed = false
 		c.trySend()
 	})
+	if cfg.IdleTimeout > 0 {
+		c.idleTimer = sim.NewTimer(s, func() { c.Close(ErrIdleTimeout) })
+		c.idleTimer.Arm(cfg.IdleTimeout)
+		if cfg.KeepAlive {
+			c.keepTimer = sim.NewTimer(s, c.onKeepAlive)
+			c.keepTimer.Arm(cfg.IdleTimeout / 2)
+		}
+	}
 	return c
 }
 
 // Stats returns a snapshot of the connection counters.
 func (c *Conn) Stats() Stats { return c.stats }
+
+// Sim returns the simulator the connection runs on, for layers above the
+// transport that need timers (request deadlines, retry backoff).
+func (c *Conn) Sim() *sim.Sim { return c.sim }
+
+// LastActivity returns the virtual time of the last valid packet received
+// from the peer (zero if none yet). Layers above the transport use it to
+// tell a dead link apart from a connection that is merely busy serving
+// other streams: request deadlines only fire when the whole connection has
+// gone quiet, not when one request is queued behind another transfer.
+func (c *Conn) LastActivity() sim.Time { return c.lastRecv }
 
 // RTT returns the connection's RTT estimator.
 func (c *Conn) RTT() *cc.RTTEstimator { return &c.rtt }
@@ -178,6 +231,75 @@ func (c *Conn) Controller() cc.Controller { return c.ctl }
 
 // OnStream registers the callback invoked when the peer opens a stream.
 func (c *Conn) OnStream(fn func(*Stream)) { c.onStream = fn }
+
+// OnClose registers the callback invoked once when the connection closes,
+// with the close reason. Registered after close, it fires immediately.
+func (c *Conn) OnClose(fn func(error)) {
+	c.onClose = fn
+	if c.closed && fn != nil {
+		fn(c.closeErr)
+	}
+}
+
+// Closed reports whether the connection has been closed.
+func (c *Conn) Closed() bool { return c.closed }
+
+// Err returns the close reason, or nil while the connection is open.
+func (c *Conn) Err() error { return c.closeErr }
+
+// Close tears the connection down: every timer stops, queued and in-flight
+// data is released, and no further events are scheduled — a closed
+// connection is inert, so a simulation over a dead link drains instead of
+// re-arming probe timers forever. The reason (ErrIdleTimeout, ErrClosed,
+// ...) is reported to the OnClose callback. Close is idempotent and purely
+// local: the peer learns of it only through its own idle timeout, as with a
+// real endpoint that vanished.
+func (c *Conn) Close(reason error) {
+	if c.closed {
+		return
+	}
+	if reason == nil {
+		reason = ErrClosed
+	}
+	c.closed = true
+	c.closeErr = reason
+	c.ptoTimer.Stop()
+	c.ackTimer.Stop()
+	c.paceTimer.Stop()
+	if c.idleTimer != nil {
+		c.idleTimer.Stop()
+	}
+	if c.keepTimer != nil {
+		c.keepTimer.Stop()
+	}
+	for i := c.sentQ.head; i < len(c.sentQ.pk); i++ {
+		c.releaseSent(c.sentQ.pk[i])
+	}
+	c.sentQ.reset()
+	c.ctrlQ = nil
+	c.retransmit = nil
+	c.rewrites = nil
+	c.active = nil
+	c.ackPending = false
+	if c.onClose != nil {
+		c.onClose(reason)
+	}
+}
+
+// onKeepAlive sends a PING when the send side has been quiet for half the
+// idle timeout, so the peer's idle timer (and, via the elicited ACK, our
+// own) keeps getting refreshed across application-level silences.
+func (c *Conn) onKeepAlive() {
+	if c.closed {
+		return
+	}
+	interval := c.cfg.IdleTimeout / 2
+	if c.sim.Now()-c.lastAckElic >= interval && c.sentQ.empty() {
+		c.ctrlQ = append(c.ctrlQ, PingFrame{})
+		c.trySend()
+	}
+	c.keepTimer.Arm(interval)
+}
 
 // OpenStream opens a new locally initiated stream.
 func (c *Conn) OpenStream(unreliable bool) *Stream {
@@ -269,7 +391,7 @@ func (c *Conn) putBuf(b []byte) {
 // allow, then arms the pacing timer if blocked on time.
 func (c *Conn) trySend() {
 	for {
-		if !c.hasPending() {
+		if c.closed || !c.hasPending() {
 			return
 		}
 		now := c.sim.Now()
@@ -450,10 +572,11 @@ func (c *Conn) sendOnePacket() bool {
 	}
 
 	peer := c.peer
-	if !c.link.Send(netem.Datagram{Size: wireSize, Deliver: func() {
-		peer.receive(encoded)
-		c.putBuf(encoded)
-	}}) {
+	if !c.link.Send(netem.Datagram{
+		Size:    wireSize,
+		Deliver: func() { peer.receive(encoded) },
+		Done:    func() { c.putBuf(encoded) },
+	}) {
 		c.putBuf(encoded) // dropped at the queue: reclaim immediately
 	}
 	return true
@@ -492,10 +615,11 @@ func (c *Conn) sendAckNow() {
 	c.stats.PacketsSent++
 	c.stats.BytesSent += uint64(len(encoded))
 	peer := c.peer
-	if !c.link.Send(netem.Datagram{Size: len(encoded) + c.cfg.Overhead, Deliver: func() {
-		peer.receive(encoded)
-		c.putBuf(encoded)
-	}}) {
+	if !c.link.Send(netem.Datagram{
+		Size:    len(encoded) + c.cfg.Overhead,
+		Deliver: func() { peer.receive(encoded) },
+		Done:    func() { c.putBuf(encoded) },
+	}) {
 		c.putBuf(encoded)
 	}
 }
@@ -509,6 +633,9 @@ func (c *Conn) sendAckNow() {
 // downstream retains them), so steady-state receiving does not allocate or
 // copy.
 func (c *Conn) receive(encoded []byte) {
+	if c.closed {
+		return // packets arriving after close fall on the floor
+	}
 	if len(encoded) == 0 || encoded[0] != packetHeaderByte {
 		return // corrupt packets are dropped
 	}
@@ -522,6 +649,10 @@ func (c *Conn) receive(encoded []byte) {
 	}
 	c.stats.PacketsReceived++
 	c.recvdPNs.Add(pn, pn+1)
+	c.lastRecv = c.sim.Now()
+	if c.idleTimer != nil {
+		c.idleTimer.Arm(c.cfg.IdleTimeout) // peer activity: push back teardown
+	}
 
 	// Dispatch pass. walkFrames validated the encoding, so the varint and
 	// bounds errors below cannot occur.
@@ -763,25 +894,33 @@ func (c *Conn) requeueLost(sp *sentPacket) {
 // --- PTO ---
 
 func (c *Conn) armPTO() {
-	if c.sentQ.empty() {
+	if c.closed || c.sentQ.empty() {
 		c.ptoTimer.Stop()
 		return
 	}
-	backoff := sim.Time(1) << uint(c.ptoCount)
+	exp := c.ptoCount
+	if cap := c.cfg.PTOBackoffCap; cap > 0 && exp > cap {
+		exp = cap
+	}
+	backoff := sim.Time(1) << uint(exp)
 	c.ptoTimer.ArmAt(c.lastAckElic + c.rtt.PTO()*backoff)
 }
 
 func (c *Conn) onPTO() {
-	if c.sentQ.empty() {
+	if c.closed || c.sentQ.empty() {
 		return
 	}
 	c.ptoCount++
 	c.stats.PTOCount++
 	now := c.sim.Now()
-	if c.ptoCount >= 3 {
-		// Persistent congestion: declare everything in flight lost and
-		// collapse the window. The queue is already in ascending packet-
-		// number order.
+	// Persistent congestion at 3 consecutive PTOs. Legacy (no backoff cap)
+	// resets the backoff each time, retrying the whole window at full tempo;
+	// with a cap, it is declared once per streak and the streak keeps
+	// backing off (up to the cap), so a dead link is probed at a bounded,
+	// non-collapsing cadence until traffic or the idle timeout ends it.
+	if c.ptoCount == 3 || (c.cfg.PTOBackoffCap == 0 && c.ptoCount > 3) {
+		// Declare everything in flight lost and collapse the window. The
+		// queue is already in ascending packet-number order.
 		q := &c.sentQ
 		for i := q.head; i < len(q.pk); i++ {
 			c.stats.PacketsDeclLost++
@@ -790,9 +929,16 @@ func (c *Conn) onPTO() {
 		q.reset()
 		c.ctl.OnRetransmissionTimeout(now)
 		c.recoveryStart = now
-		c.ptoCount = 0
+		if c.cfg.PTOBackoffCap == 0 {
+			c.ptoCount = 0
+		}
 		c.nextSendAt = 0
 		c.trySend()
+		if c.cfg.PTOBackoffCap > 0 {
+			// The streak continues: keep probing even if trySend was
+			// blocked, so link recovery is still detected.
+			c.armPTO()
+		}
 		return
 	}
 	// Send a probe to elicit an ACK that unblocks threshold loss detection.
@@ -811,10 +957,11 @@ func (c *Conn) onPTO() {
 	c.stats.PacketsSent++
 	c.lastAckElic = now
 	peer := c.peer
-	if !c.link.Send(netem.Datagram{Size: sp.size, Deliver: func() {
-		peer.receive(encoded)
-		c.putBuf(encoded)
-	}}) {
+	if !c.link.Send(netem.Datagram{
+		Size:    sp.size,
+		Deliver: func() { peer.receive(encoded) },
+		Done:    func() { c.putBuf(encoded) },
+	}) {
 		c.putBuf(encoded)
 	}
 	c.armPTO()

@@ -23,7 +23,7 @@ func TestRecoversFromBlackout(t *testing.T) {
 			samples[i] = 8e6
 		}
 	}
-	tr := trace.New("blackout", samples)
+	tr := trace.MustNew("blackout", samples)
 	path := netem.NewPath(s, tr, 32)
 	client, server := NewPair(s, path, Config{}, Config{})
 	const total = 4 << 20

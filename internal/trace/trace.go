@@ -30,14 +30,26 @@ type Trace struct {
 	samples []float64 // one per second, bps
 }
 
-// New builds a trace from per-second samples in bits per second.
-func New(name string, samples []float64) *Trace {
+// New builds a trace from per-second samples in bits per second. An empty
+// sample set is an error: a trace with no samples has no rate to report at
+// any time.
+func New(name string, samples []float64) (*Trace, error) {
 	if len(samples) == 0 {
-		panic("trace: empty sample set")
+		return nil, fmt.Errorf("trace: %q has an empty sample set", name)
 	}
 	cp := make([]float64, len(samples))
 	copy(cp, samples)
-	return &Trace{name: name, samples: cp}
+	return &Trace{name: name, samples: cp}, nil
+}
+
+// MustNew is New for statically-known-good sample sets (generators, tests);
+// it panics on error.
+func MustNew(name string, samples []float64) *Trace {
+	t, err := New(name, samples)
+	if err != nil {
+		panic(err)
+	}
+	return t
 }
 
 // Name returns the trace's name.
@@ -198,7 +210,7 @@ func generate(name string, seconds int, p genParams) *Trace {
 		}
 		samples[i] = v
 	}
-	return New(name, samples)
+	return MustNew(name, samples)
 }
 
 // The standard trace length: long enough to cover the 5-minute clips plus
@@ -312,7 +324,7 @@ func Constant(name string, bps float64, seconds int) *Trace {
 	for i := range samples {
 		samples[i] = bps
 	}
-	return New(name, samples)
+	return MustNew(name, samples)
 }
 
 // Step returns a trace that holds `before` bps until stepAt and `after` bps
@@ -327,7 +339,7 @@ func Step(name string, before, after float64, stepAt sim.Time, seconds int) *Tra
 			samples[i] = after
 		}
 	}
-	return New(name, samples)
+	return MustNew(name, samples)
 }
 
 // InTheWild returns a WiFi-like path profile standing in for the paper's

@@ -9,7 +9,7 @@ import (
 )
 
 func TestRateAtWraps(t *testing.T) {
-	tr := New("t", []float64{1, 2, 3})
+	tr := MustNew("t", []float64{1, 2, 3})
 	if got := tr.RateAt(0); got != 1 {
 		t.Fatalf("RateAt(0) = %v", got)
 	}
@@ -25,7 +25,7 @@ func TestRateAtWraps(t *testing.T) {
 }
 
 func TestShifted(t *testing.T) {
-	tr := New("t", []float64{1, 2, 3, 4})
+	tr := MustNew("t", []float64{1, 2, 3, 4})
 	sh := tr.Shifted(2 * time.Second)
 	want := []float64{3, 4, 1, 2}
 	for i, w := range want {
@@ -43,7 +43,7 @@ func TestShifted(t *testing.T) {
 }
 
 func TestOffsetToMean(t *testing.T) {
-	tr := New("t", []float64{1e6, 3e6})
+	tr := MustNew("t", []float64{1e6, 3e6})
 	off := tr.OffsetToMean(10e6)
 	if m := off.Mean(); math.Abs(m-10e6) > 1 {
 		t.Fatalf("mean after offset = %v, want 10e6", m)
@@ -55,7 +55,7 @@ func TestOffsetToMean(t *testing.T) {
 }
 
 func TestOffsetClampsAtFloor(t *testing.T) {
-	tr := New("t", []float64{1e6, 100e6})
+	tr := MustNew("t", []float64{1e6, 100e6})
 	off := tr.OffsetToMean(2e6)
 	for _, v := range off.Samples() {
 		if v < minRate {
@@ -163,13 +163,19 @@ func TestByName(t *testing.T) {
 	}
 }
 
-func TestEmptyPanics(t *testing.T) {
+func TestEmptyIsError(t *testing.T) {
+	if _, err := New("x", nil); err == nil {
+		t.Fatal("expected error for empty trace")
+	}
+	if _, err := New("x", []float64{}); err == nil {
+		t.Fatal("expected error for empty trace")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("expected panic for empty trace")
+			t.Fatal("MustNew should panic for empty trace")
 		}
 	}()
-	New("x", nil)
+	MustNew("x", nil)
 }
 
 // Property: Shifted preserves the multiset of samples (hence mean/stddev).
@@ -184,7 +190,7 @@ func TestPropertyShiftPreservesMean(t *testing.T) {
 			}
 			raw[i] = math.Abs(math.Mod(raw[i], 1e8))
 		}
-		tr := New("p", raw)
+		tr := MustNew("p", raw)
 		sh := tr.Shifted(time.Duration(k) * time.Second)
 		return math.Abs(tr.Mean()-sh.Mean()) < 1e-3
 	}
@@ -204,7 +210,7 @@ func TestPropertyPeriodicity(t *testing.T) {
 				raw[i] = 1
 			}
 		}
-		tr := New("p", raw)
+		tr := MustNew("p", raw)
 		at := time.Duration(q%10000) * time.Millisecond
 		return tr.RateAt(at) == tr.RateAt(at+tr.Duration())
 	}

@@ -5,6 +5,7 @@ import (
 
 	"voxel/internal/dash"
 	"voxel/internal/exp"
+	"voxel/internal/netem"
 	"voxel/internal/prep"
 	"voxel/internal/qoe"
 	"voxel/internal/stats"
@@ -115,8 +116,15 @@ func Stream(cfg Config) (*Aggregate, error) {
 	if cfg.System == "" {
 		cfg.System = VOXEL
 	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	return exp.Run(cfg), nil
 }
+
+// ImpairmentProfiles lists the canonical netem fault profiles accepted by
+// Config.Impairment: clean, bursty, flaky-wifi, handover-blackout.
+func ImpairmentProfiles() []string { return netem.Profiles() }
 
 // Summarize computes summary statistics of a sample.
 func Summarize(xs []float64) Summary { return stats.Summarize(xs) }
