@@ -1,19 +1,22 @@
 // Command voxel-sim runs one streaming experiment configuration — title,
 // system (ABR + transport), trace, buffer size — for N trials and prints
 // the paper's metrics: p90 and mean bufRatio, average bitrate, score
-// distribution, skipped data, and residual loss.
+// distribution, skipped data, and residual loss. With -telemetry it also
+// collects the per-trial obs timeline and counters, prints a summary, and
+// can export them as JSONL (-telemetry-out) and CSV (-telemetry-csv).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"strings"
 
+	"voxel"
 	"voxel/internal/exp"
-	"voxel/internal/qoe"
 	"voxel/internal/stats"
-	"voxel/internal/trace"
 )
 
 func main() {
@@ -32,47 +35,56 @@ func main() {
 		"add a second origin and permanently blackhole the primary path mid-stream")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"concurrent trial workers (1 = sequential; results are identical either way)")
+	telemetry := flag.Bool("telemetry", false,
+		"collect per-trial obs counters and timeline events (zero impact on results)")
+	telemetryOut := flag.String("telemetry-out", "",
+		"write the telemetry timeline as JSONL to this file (- = stdout); implies -telemetry")
+	telemetryCSV := flag.String("telemetry-csv", "",
+		"write per-trial telemetry counters as CSV to this file (- = stdout); implies -telemetry")
 	flag.Parse()
 
-	var metric qoe.Metric
+	var metric voxel.Metric
 	switch *metricName {
 	case "ssim":
-		metric = qoe.SSIM
+		metric = voxel.SSIM
 	case "vmaf":
-		metric = qoe.VMAF
+		metric = voxel.VMAF
 	case "psnr":
-		metric = qoe.PSNR
+		metric = voxel.PSNR
 	default:
 		fatal(fmt.Errorf("unknown metric %q", *metricName))
 	}
 
-	cfg := exp.Config{
-		Title:          *title,
-		System:         exp.System(*system),
-		BufferSegments: *buffer,
-		Trials:         *trials,
-		Segments:       *segments,
-		Metric:         metric,
-		QueuePackets:   *queue,
-		Seed:           *seed,
-		Impairment:     *impair,
-		Failover:       *failover,
-		Parallelism:    *parallel,
+	opts := []voxel.Option{
+		voxel.WithSystem(voxel.System(*system)),
+		voxel.WithBuffer(*buffer),
+		voxel.WithTrials(*trials),
+		voxel.WithSegments(*segments),
+		voxel.WithMetric(metric),
+		voxel.WithQueue(*queue),
+		voxel.WithSeed(*seed),
+		voxel.WithParallelism(*parallel),
 	}
-	if err := cfg.Validate(); err != nil {
-		fatal(err)
+	if *impair != "" {
+		opts = append(opts, voxel.WithImpairment(*impair))
+	}
+	if *failover {
+		opts = append(opts, voxel.WithFailover())
+	}
+	if *telemetry || *telemetryOut != "" || *telemetryCSV != "" {
+		*telemetry = true
+		opts = append(opts, voxel.WithTelemetry())
 	}
 	if *cross > 0 {
-		cfg.CrossTraffic = *cross * 1e6
-		cfg.LinkCapacity = 20e6
+		opts = append(opts, voxel.WithCrossTraffic(*cross*1e6, 20e6))
 		fmt.Printf("%s streaming %s against %.0f Mbps cross traffic (20 Mbps link), %d-segment buffer\n",
 			*system, *title, *cross, *buffer)
 	} else {
-		tr, err := trace.ByName(*traceName)
+		tr, err := voxel.LoadTrace(*traceName)
 		if err != nil {
 			fatal(err)
 		}
-		cfg.Trace = tr
+		opts = append(opts, voxel.WithTrace(tr))
 		fmt.Printf("%s streaming %s over %s (mean %.1f Mbps, stddev %.1f Mbps), %d-segment buffer\n",
 			*system, *title, tr.Name(), tr.Mean()/1e6, tr.StdDev()/1e6, *buffer)
 	}
@@ -84,7 +96,10 @@ func main() {
 			exp.FailoverKillTime)
 	}
 
-	agg := exp.Run(cfg)
+	agg, report, err := voxel.New(*title, opts...).Run()
+	if err != nil {
+		fatal(err)
+	}
 
 	fmt.Printf("\n%-26s %v\n", "trials:", len(agg.Trials))
 	fmt.Printf("%-26s %.2f%%\n", "bufRatio (p90):", 100*agg.BufRatioP90())
@@ -114,6 +129,47 @@ func main() {
 		fmt.Printf("%-26s %.1f\n", "failed requests (mean):", failed/float64(len(agg.Trials)))
 		fmt.Printf("%-26s %d/%d\n", "incomplete trials:", incomplete, len(agg.Trials))
 	}
+
+	if *telemetry {
+		fmt.Println()
+		fmt.Print(report.Summary())
+		if kinds := report.KindCounts(); len(kinds) > 0 {
+			fmt.Printf("timeline events: %s\n", strings.Join(kinds, " "))
+		}
+		if err := exportTelemetry(report, *telemetryOut, *telemetryCSV); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// exportTelemetry writes the JSONL timeline and/or the per-trial counter CSV
+// to the given destinations ("" = skip, "-" = stdout).
+func exportTelemetry(report *voxel.Report, jsonlPath, csvPath string) error {
+	write := func(path string, emit func(w io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		if path == "-" {
+			return emit(os.Stdout)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", path)
+		return nil
+	}
+	if err := write(jsonlPath, report.WriteJSONL); err != nil {
+		return err
+	}
+	return write(csvPath, report.WriteCSV)
 }
 
 func fatal(err error) {

@@ -21,6 +21,8 @@
 // testbed, and EXPERIMENTS.md for paper-vs-measured results.
 //
 // The top-level package is a thin facade over the internal packages; start
-// with Stream for an end-to-end run or PrepareManifest for the offline
-// analysis. The runnable examples under examples/ exercise the same API.
+// with New (the Session API) for an end-to-end run — optionally with
+// per-trial telemetry via WithTelemetry — or PrepareManifest for the
+// offline analysis. The runnable examples under examples/ exercise the
+// same API.
 package voxel

@@ -1,0 +1,32 @@
+package voxel_test
+
+import (
+	"fmt"
+
+	"voxel"
+)
+
+// ExampleNew shows the Session entry point: configure with functional
+// options, run, and read the aggregate plus the telemetry report. The
+// simulation is deterministic, so the output is exact.
+func ExampleNew() {
+	agg, report, err := voxel.New("BBB",
+		voxel.WithSystem(voxel.VOXEL),
+		voxel.WithTrials(1),
+		voxel.WithSegments(4),
+		voxel.WithTelemetry(),
+	).Run()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("trials: %d\n", len(agg.Trials))
+	fmt.Printf("completed: %v\n", agg.Trials[0].Completed)
+	fmt.Printf("segments streamed: %d\n", len(agg.Trials[0].Scores))
+	fmt.Printf("telemetry trials: %d\n", len(report.Trials))
+	// Output:
+	// trials: 1
+	// completed: true
+	// segments streamed: 4
+	// telemetry trials: 1
+}

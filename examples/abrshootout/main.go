@@ -11,10 +11,6 @@ import (
 )
 
 func main() {
-	tr, err := voxel.LoadTrace("tmobile")
-	if err != nil {
-		log.Fatal(err)
-	}
 	systems := []voxel.System{
 		voxel.Tput,
 		voxel.BOLA,
@@ -36,14 +32,13 @@ func main() {
 	}
 	var rows []row
 	for _, sys := range systems {
-		agg, err := voxel.Stream(voxel.Config{
-			Title:          "ToS",
-			System:         sys,
-			Trace:          tr,
-			BufferSegments: 3,
-			Trials:         5,
-			Segments:       25,
-		})
+		agg, _, err := voxel.New("ToS",
+			voxel.WithSystem(sys),
+			voxel.WithTraceName("tmobile"),
+			voxel.WithBuffer(3),
+			voxel.WithTrials(5),
+			voxel.WithSegments(25),
+		).Run()
 		if err != nil {
 			log.Fatal(err)
 		}

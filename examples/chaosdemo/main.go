@@ -15,22 +15,19 @@ import (
 )
 
 func main() {
-	tr, err := voxel.LoadTrace("verizon")
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	run := func(label string, impairment string, failover bool) {
-		agg, err := voxel.Stream(voxel.Config{
-			Title:          "BBB",
-			System:         voxel.VOXEL,
-			Trace:          tr,
-			BufferSegments: 7,
-			Trials:         3,
-			Segments:       25,
-			Impairment:     impairment,
-			Failover:       failover,
-		})
+		opts := []voxel.Option{
+			voxel.WithSystem(voxel.VOXEL),
+			voxel.WithTraceName("verizon"),
+			voxel.WithBuffer(7),
+			voxel.WithTrials(3),
+			voxel.WithSegments(25),
+			voxel.WithImpairment(impairment),
+		}
+		if failover {
+			opts = append(opts, voxel.WithFailover())
+		}
+		agg, _, err := voxel.New("BBB", opts...).Run()
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -16,19 +16,14 @@ func main() {
 	fmt.Printf("\n%-10s %16s %16s %14s\n", "trace", "BOLA p90 stall", "VOXEL p90 stall", "VOXEL bitrate")
 
 	for _, name := range []string{"tmobile", "verizon", "att", "3g", "fcc"} {
-		tr, err := voxel.LoadTrace(name)
-		if err != nil {
-			log.Fatal(err)
-		}
 		cell := func(sys voxel.System) *voxel.Aggregate {
-			agg, err := voxel.Stream(voxel.Config{
-				Title:          "Sintel",
-				System:         sys,
-				Trace:          tr,
-				BufferSegments: 1,
-				Trials:         5,
-				Segments:       20,
-			})
+			agg, _, err := voxel.New("Sintel",
+				voxel.WithSystem(sys),
+				voxel.WithTraceName(name),
+				voxel.WithBuffer(1),
+				voxel.WithTrials(5),
+				voxel.WithSegments(20),
+			).Run()
 			if err != nil {
 				log.Fatal(err)
 			}

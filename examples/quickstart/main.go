@@ -11,20 +11,14 @@ import (
 )
 
 func main() {
-	tr, err := voxel.LoadTrace("verizon")
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	run := func(sys voxel.System) *voxel.Aggregate {
-		agg, err := voxel.Stream(voxel.Config{
-			Title:          "BBB",
-			System:         sys,
-			Trace:          tr,
-			BufferSegments: 2, // low-latency-like small buffer
-			Trials:         5,
-			Segments:       25,
-		})
+		agg, _, err := voxel.New("BBB",
+			voxel.WithSystem(sys),
+			voxel.WithTraceName("verizon"),
+			voxel.WithBuffer(2), // low-latency-like small buffer
+			voxel.WithTrials(5),
+			voxel.WithSegments(25),
+		).Run()
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -20,14 +20,13 @@ func main() {
 		tr.Mean()/1e6)
 
 	run := func(sys voxel.System) *voxel.Aggregate {
-		agg, err := voxel.Stream(voxel.Config{
-			Title:          "BBB",
-			System:         sys,
-			Trace:          tr,
-			BufferSegments: 1,
-			Trials:         5,
-			Segments:       15,
-		})
+		agg, _, err := voxel.New("BBB",
+			voxel.WithSystem(sys),
+			voxel.WithTrace(tr),
+			voxel.WithBuffer(1),
+			voxel.WithTrials(5),
+			voxel.WithSegments(15),
+		).Run()
 		if err != nil {
 			log.Fatal(err)
 		}

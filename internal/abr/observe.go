@@ -1,0 +1,38 @@
+package abr
+
+import "voxel/internal/obs"
+
+// Instrument wraps an algorithm so its decision activity is counted in the
+// telemetry scope: every Decide call increments the decision counter, and
+// buffer-full sleeps are tallied separately (a per-poll timeline event at
+// the 50ms idle cadence would flood the ring, so sleeps are counter-only).
+// A nil scope returns the algorithm unchanged, keeping the untelemetered
+// path free of the extra indirection.
+func Instrument(alg Algorithm, sc *obs.Scope) Algorithm {
+	if sc == nil || alg == nil {
+		return alg
+	}
+	return &observed{alg: alg, sc: sc}
+}
+
+type observed struct {
+	alg Algorithm
+	sc  *obs.Scope
+}
+
+func (o *observed) Name() string { return o.alg.Name() }
+
+func (o *observed) Decide(st State, opts Options) Decision {
+	d := o.alg.Decide(st, opts)
+	o.sc.Inc(obs.CAbrDecisions)
+	if d.Sleep > 0 {
+		o.sc.Inc(obs.CAbrSleeps)
+	}
+	return d
+}
+
+func (o *observed) Abandon(st State, opts Options, p Progress) AbandonAction {
+	return o.alg.Abandon(st, opts, p)
+}
+
+func (o *observed) OnSample(s Sample) { o.alg.OnSample(s) }

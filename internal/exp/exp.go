@@ -17,6 +17,7 @@ import (
 	"voxel/internal/dash"
 	"voxel/internal/httpsim"
 	"voxel/internal/netem"
+	"voxel/internal/obs"
 	"voxel/internal/player"
 	"voxel/internal/prep"
 	"voxel/internal/qoe"
@@ -93,9 +94,24 @@ type Config struct {
 	// results are written by trial index, so aggregates are bit-identical to
 	// the sequential output for the same seed at any setting.
 	Parallelism int
+	// Telemetry attaches a per-trial obs.Scope to every layer of the stack
+	// and collects the per-trial reports into Aggregate.Obs. Recording never
+	// schedules simulator events, so the metrics of a telemetered run are
+	// bit-identical to an untelemetered one.
+	Telemetry bool
+	// TimelineCap overrides the per-trial event ring capacity
+	// (obs.DefaultTimelineCap when zero). Only meaningful with Telemetry.
+	TimelineCap int
+	// Interrupt, when non-nil, aborts the run between trials once the
+	// channel is closed (e.g. a context's Done channel). Trials already
+	// dispatched finish; remaining ones are skipped and left zero-valued.
+	Interrupt <-chan struct{}
 }
 
 func (c Config) withDefaults() Config {
+	if c.System == "" {
+		c.System = SysVoxel
+	}
 	if c.BufferSegments == 0 {
 		c.BufferSegments = 7
 	}
@@ -165,6 +181,8 @@ type Trial struct {
 	StartupDelay time.Duration
 	Completed    bool
 	FailedReqs   int // requests abandoned after deadline/retry/failover
+	// Obs is the trial's telemetry report (nil when Config.Telemetry is off).
+	Obs *obs.TrialReport
 }
 
 // Aggregate collects trials of one configuration.
@@ -174,6 +192,8 @@ type Aggregate struct {
 	BufRatios []float64
 	Bitrates  []float64
 	AllScores []float64
+	// Obs merges the per-trial telemetry (nil when Config.Telemetry is off).
+	Obs *obs.Report
 }
 
 // BufRatioP90 returns the 90th percentile bufRatio across trials (the
@@ -286,8 +306,22 @@ func runConfigs(cfgs []Config, workers int) []*Aggregate {
 			jobs = append(jobs, job{ci, ti})
 		}
 	}
+	interrupted := func(c Config) bool {
+		if c.Interrupt == nil {
+			return false
+		}
+		select {
+		case <-c.Interrupt:
+			return true
+		default:
+			return false
+		}
+	}
 	runOne := func(j job) {
 		c := cfgs[j.cfg]
+		if interrupted(c) {
+			return
+		}
 		man := ManifestFor(c.Title, c.Metric, c.Segments)
 		shift := time.Duration(0)
 		if c.Trace != nil && c.Trials > 1 {
@@ -328,6 +362,13 @@ func runConfigs(cfgs []Config, workers int) []*Aggregate {
 			agg.Bitrates = append(agg.Bitrates, tr.AvgBitrate)
 			agg.AllScores = append(agg.AllScores, tr.Scores...)
 		}
+		if c.Telemetry {
+			reports := make([]*obs.TrialReport, len(trials[ci]))
+			for ti := range trials[ci] {
+				reports[ti] = trials[ci][ti].Obs
+			}
+			agg.Obs = obs.Merge(reports)
+		}
 		out[ci] = agg
 	}
 	return out
@@ -354,6 +395,14 @@ func buildPath(s *sim.Sim, cfg Config, man *dash.Manifest, shift time.Duration) 
 func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64) Trial {
 	s := sim.New(seed)
 
+	// One scope per trial: the trial's world is single-threaded, so event
+	// sequence numbers are deterministic even under parallel trial fan-out.
+	var scope *obs.Scope
+	if cfg.Telemetry {
+		scope = obs.NewScope(func() time.Duration { return time.Duration(s.Now()) },
+			obs.Options{TimelineCap: cfg.TimelineCap})
+	}
+
 	path := buildPath(s, cfg, man, shift)
 	var gen *crosstraffic.Generator
 	if cfg.CrossTraffic > 0 {
@@ -365,6 +414,8 @@ func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64) T
 	recovered := impaired || cfg.Failover
 
 	var clientCfg, serverCfg quic.Config
+	clientCfg.Obs = scope
+	serverCfg.Obs = scope
 	if cfg.CC == "bbr" {
 		serverCfg.Controller = cc.NewBBRLite()
 	}
@@ -413,6 +464,7 @@ func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64) T
 	}
 
 	alg, mode, beta := newAlgorithm(cfg.System)
+	alg = abr.Instrument(alg, scope)
 	v := video.MustLoad(cfg.Title)
 	if cfg.Segments > 0 && cfg.Segments < v.Segments {
 		v.Segments = cfg.Segments
@@ -423,6 +475,7 @@ func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64) T
 		BufferSegments: cfg.BufferSegments,
 		Metric:         cfg.Metric,
 		BetaCandidates: beta,
+		Obs:            scope,
 	}
 	if recovered {
 		pcfg.Recovery = httpsim.Recovery{
@@ -481,6 +534,7 @@ func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64) T
 		StartupDelay: res.StartupDelay,
 		Completed:    pl.Done(),
 		FailedReqs:   res.FailedRequests,
+		Obs:          scope.TrialReport(),
 	}
 	if !pl.Done() {
 		// The run hit the safety limit: treat all remaining media time as

@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"voxel/internal/obs"
+	"voxel/internal/trace"
+)
+
+// burstyCfg is the telemetry exercise bed: a tight buffer over a variable
+// cellular trace with burst loss provokes rebuffers, unreliable-loss
+// reports, and ABR* partial abandonments in one short trial.
+func burstyCfg() Config {
+	tr, err := trace.ByName("tmobile")
+	if err != nil {
+		panic(err)
+	}
+	return Config{
+		Title: "BBB", System: SysVoxel, Trace: tr, BufferSegments: 1,
+		Trials: 1, Segments: 20, Impairment: "bursty",
+		MaxSimTime: 10 * time.Minute, Telemetry: true,
+	}
+}
+
+// Telemetry is observation only: enabling it must not move a single metric.
+func TestTelemetryPreservesResults(t *testing.T) {
+	on := burstyCfg()
+	off := on
+	off.Telemetry = false
+	a := Run(on)
+	b := Run(off)
+	if a.Obs == nil || len(a.Obs.Trials) != 1 {
+		t.Fatal("telemetry enabled but no report collected")
+	}
+	if b.Obs != nil || b.Trials[0].Obs != nil {
+		t.Fatal("telemetry disabled but a report was collected")
+	}
+	stripped := make([]Trial, len(a.Trials))
+	copy(stripped, a.Trials)
+	for i := range stripped {
+		stripped[i].Obs = nil
+	}
+	if !reflect.DeepEqual(stripped, b.Trials) {
+		t.Fatalf("telemetry perturbed the trial results:\n%+v\nvs\n%+v", stripped, b.Trials)
+	}
+}
+
+// Per-trial scopes live inside single-threaded worlds, so the exported
+// timelines are byte-identical at any parallelism.
+func TestTelemetryParallelDeterminism(t *testing.T) {
+	cfg := burstyCfg()
+	cfg.Trials = 4
+	render := func(par int) (string, string) {
+		c := cfg
+		c.Parallelism = par
+		agg := Run(c)
+		var j, csv bytes.Buffer
+		if err := agg.Obs.WriteJSONL(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := agg.Obs.WriteCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), csv.String()
+	}
+	j1, c1 := render(1)
+	j4, c4 := render(4)
+	if j1 != j4 {
+		t.Fatal("JSONL timeline differs between sequential and parallel runs")
+	}
+	if c1 != c4 {
+		t.Fatal("CSV counters differ between sequential and parallel runs")
+	}
+	if len(j1) == 0 {
+		t.Fatal("empty JSONL timeline")
+	}
+}
+
+// A bursty-profile trial's timeline must tell the recovery story: rebuffer,
+// loss-report, and abandonment events all present, and every line parseable
+// JSON (the acceptance contract for the CLI's -telemetry output).
+func TestBurstyTimelineEvents(t *testing.T) {
+	agg := Run(burstyCfg())
+	rep := agg.Obs
+	var buf bytes.Buffer
+	if err := rep.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var rec struct {
+			Kind string  `json:"kind"`
+			TMs  float64 `json:"t_ms"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("unparseable JSONL line: %v\n%s", err, sc.Text())
+		}
+		seen[rec.Kind]++
+	}
+	for _, kind := range []string{"rebuffer_start", "rebuffer_stop", "loss_report",
+		"abandon_partial", "segment_chosen", "segment_done", "startup"} {
+		if seen[kind] == 0 {
+			t.Errorf("timeline missing %q events (have %v)", kind, seen)
+		}
+	}
+	r := rep.Trials[0]
+	if r.Counters[obs.CRebuffers] == 0 || r.Counters[obs.CLossReportedBytes] == 0 {
+		t.Errorf("counters missing rebuffer/loss activity: %v", rep.Summary())
+	}
+	if r.Counters[obs.CAbrDecisions] == 0 {
+		t.Error("ABR decisions not counted")
+	}
+	if r.Counters[obs.CPacketsSent] == 0 || r.Counters[obs.CPacketsReceived] == 0 {
+		t.Error("transport counters empty")
+	}
+	if r.Hists[obs.HRTTMs].Count == 0 || r.Hists[obs.HSegmentMs].Count == 0 {
+		t.Error("histograms empty")
+	}
+}
+
+// An interrupt closed before the run starts skips every trial.
+func TestInterruptSkipsTrials(t *testing.T) {
+	cfg := burstyCfg()
+	cfg.Telemetry = false
+	ch := make(chan struct{})
+	close(ch)
+	cfg.Interrupt = ch
+	agg := Run(cfg)
+	if agg.Trials[0].Completed {
+		t.Fatal("interrupted run still executed its trial")
+	}
+}

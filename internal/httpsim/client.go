@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"voxel/internal/obs"
 	"voxel/internal/quic"
 	"voxel/internal/sim"
 )
@@ -155,6 +156,7 @@ type Client struct {
 	conns []*quic.Conn // all transports in failover preference order
 	sim   *sim.Sim
 	rec   Recovery
+	obs   *obs.Scope // nil = telemetry disabled (all calls no-op)
 
 	// pendingByStream maps announced unreliable stream IDs to the adopting
 	// response attempt on the active connection.
@@ -205,6 +207,24 @@ func NewClient(conn *quic.Conn) *Client {
 // SetRecovery installs the deadline/retry policy for subsequent requests.
 func (c *Client) SetRecovery(rec Recovery) { c.rec = rec }
 
+// SetObs installs the telemetry scope recording request/retry/failover
+// activity. A nil scope (the default) disables recording at zero cost.
+func (c *Client) SetObs(sc *obs.Scope) { c.obs = sc }
+
+// attemptReasonCode maps an attempt-failure reason to its telemetry code.
+func attemptReasonCode(reason error) int64 {
+	switch {
+	case errors.Is(reason, ErrRequestTimeout):
+		return obs.ReasonTimeout
+	case errors.Is(reason, quic.ErrIdleTimeout):
+		return obs.ReasonIdleTimeout
+	case errors.Is(reason, quic.ErrClosed):
+		return obs.ReasonClosed
+	default:
+		return obs.ReasonOther
+	}
+}
+
 // AddFailover registers a spare connection (to a second origin). When the
 // active connection closes, the client rebinds to the next open spare and
 // re-issues in-flight requests there, subject to the retry policy.
@@ -231,6 +251,7 @@ func (c *Client) Get(path string, ranges RangeSpec, unreliable bool, extra map[s
 		headers[HeaderUnreliable] = "1"
 	}
 	resp := &Response{Ranges: ranges, client: c, path: path, reqHeaders: headers}
+	c.obs.Inc(obs.CRequests)
 	c.inflight = append(c.inflight, resp)
 	c.issue(resp)
 	return resp
@@ -323,6 +344,8 @@ func (r *Response) failAttempt(reason error) {
 		return
 	}
 	wait := c.rec.Retry.backoff(r.attempt, c.sim.Rand())
+	c.obs.Inc(obs.CRetries)
+	c.obs.Event(obs.EvRetry, int64(r.attempt), attemptReasonCode(reason), 0)
 	if r.retryTimer == nil {
 		r.retryTimer = sim.NewTimer(c.sim, func() { c.issue(r) })
 	}
@@ -343,6 +366,8 @@ func (r *Response) fail(reason error) {
 		r.retryTimer.Stop()
 	}
 	r.client.detach(r)
+	r.client.obs.Inc(obs.CFailedRequests)
+	r.client.obs.Event(obs.EvRequestFailed, int64(r.attempt), attemptReasonCode(reason), 0)
 	if r.OnFail != nil {
 		r.OnFail(reason)
 	}
@@ -374,6 +399,8 @@ func (c *Client) onConnClose(err error) {
 	}
 	c.conn = next
 	if next != nil {
+		c.obs.Inc(obs.CFailovers)
+		c.obs.Event(obs.EvFailover, 0, 0, 0)
 		// Stream IDs restart on the new connection: per-conn adoption state
 		// from the dead one no longer means anything.
 		c.pendingByStream = make(map[uint64]pendingRef)

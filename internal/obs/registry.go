@@ -1,0 +1,218 @@
+package obs
+
+// Counter identifies a monotonically increasing event count. Counters are
+// fixed at compile time and stored in a flat array, so incrementing one is
+// an index and an add — no map lookups, no allocation.
+type Counter uint8
+
+// The counter set, spanning every instrumented layer (transport → HTTP →
+// player → ABR). Transport counters cover both endpoints of a connection
+// pair when both carry the same scope (the experiment harness attaches the
+// trial scope to client and server alike).
+const (
+	// transport (QUIC*)
+	CPacketsSent Counter = iota
+	CPacketsReceived
+	CPacketsLost
+	CBytesSent
+	CStreamBytesSent
+	CRetransmitBytes
+	CUnreliableLostBytes // sender side: unreliable bytes declared lost
+	CLossReportedBytes   // receiver side: bytes covered by LOSS_REPORT frames
+	CPTOs
+	CConnCloses
+	// HTTP client
+	CRequests
+	CRetries
+	CFailedRequests
+	CFailovers
+	// player
+	CBytesReliable   // body bytes delivered over reliable streams
+	CBytesUnreliable // body bytes delivered over unreliable streams
+	CRecoveredBytes  // repaired via selective retransmission (§4.2)
+	CSegments
+	CVirtualSegments
+	CRebuffers
+	CAbandonRestarts
+	CAbandonPartials
+	// ABR
+	CAbrDecisions
+	CAbrSleeps
+
+	NumCounters
+)
+
+var counterNames = [NumCounters]string{
+	CPacketsSent:         "packets_sent",
+	CPacketsReceived:     "packets_received",
+	CPacketsLost:         "packets_lost",
+	CBytesSent:           "bytes_sent",
+	CStreamBytesSent:     "stream_bytes_sent",
+	CRetransmitBytes:     "retransmit_bytes",
+	CUnreliableLostBytes: "unreliable_lost_bytes",
+	CLossReportedBytes:   "loss_reported_bytes",
+	CPTOs:                "ptos",
+	CConnCloses:          "conn_closes",
+	CRequests:            "requests",
+	CRetries:             "retries",
+	CFailedRequests:      "failed_requests",
+	CFailovers:           "failovers",
+	CBytesReliable:       "bytes_reliable",
+	CBytesUnreliable:     "bytes_unreliable",
+	CRecoveredBytes:      "recovered_bytes",
+	CSegments:            "segments",
+	CVirtualSegments:     "virtual_segments",
+	CRebuffers:           "rebuffers",
+	CAbandonRestarts:     "abandon_restarts",
+	CAbandonPartials:     "abandon_partials",
+	CAbrDecisions:        "abr_decisions",
+	CAbrSleeps:           "abr_sleeps",
+}
+
+// String returns the counter's snake_case export name.
+func (c Counter) String() string {
+	if c < NumCounters {
+		return counterNames[c]
+	}
+	return "unknown_counter"
+}
+
+// Gauge identifies a last-value-wins instantaneous measurement.
+type Gauge uint8
+
+// The gauge set.
+const (
+	GBufferMs       Gauge = iota // playback buffer level
+	GThroughputKbps              // player throughput estimate
+
+	NumGauges
+)
+
+var gaugeNames = [NumGauges]string{
+	GBufferMs:       "buffer_ms",
+	GThroughputKbps: "throughput_kbps",
+}
+
+// String returns the gauge's snake_case export name.
+func (g Gauge) String() string {
+	if g < NumGauges {
+		return gaugeNames[g]
+	}
+	return "unknown_gauge"
+}
+
+// Hist identifies a fixed-bucket histogram. Bucket bounds are static per
+// histogram, so observing a value is a bounded linear scan over at most
+// maxBuckets int64 comparisons — no allocation, no sorting.
+type Hist uint8
+
+// The histogram set.
+const (
+	HRTTMs     Hist = iota // smoothed-path RTT samples (ms)
+	HSegmentMs             // segment download durations (ms)
+	HStallMs               // individual rebuffer durations (ms)
+	HTputKbps              // completed-download throughput samples (kbps)
+
+	NumHists
+)
+
+// maxBuckets bounds the per-histogram bound count (the +1 overflow bucket
+// is stored separately at index len(bounds)).
+const maxBuckets = 12
+
+type histDef struct {
+	name   string
+	bounds []int64 // upper inclusive bounds; values above the last land in overflow
+}
+
+var histDefs = [NumHists]histDef{
+	HRTTMs:     {"rtt_ms", []int64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000}},
+	HSegmentMs: {"segment_ms", []int64{50, 100, 250, 500, 1000, 2000, 4000, 8000, 16000, 32000}},
+	HStallMs:   {"stall_ms", []int64{10, 50, 100, 250, 500, 1000, 2000, 5000, 10000, 30000}},
+	HTputKbps:  {"tput_kbps", []int64{250, 500, 1000, 2000, 5000, 10000, 20000, 50000, 100000}},
+}
+
+// String returns the histogram's snake_case export name.
+func (h Hist) String() string {
+	if h < NumHists {
+		return histDefs[h].name
+	}
+	return "unknown_hist"
+}
+
+// Bounds returns the histogram's static upper bucket bounds.
+func (h Hist) Bounds() []int64 { return histDefs[h].bounds }
+
+// histogram is the in-registry representation: fixed-size bucket array so
+// the Registry is a single flat allocation.
+type histogram struct {
+	count   uint64
+	sum     int64
+	buckets [maxBuckets + 1]uint64 // last used slot = overflow
+}
+
+func (h *histogram) observe(def *histDef, v int64) {
+	h.count++
+	h.sum += v
+	for i, b := range def.bounds {
+		if v <= b {
+			h.buckets[i]++
+			return
+		}
+	}
+	h.buckets[len(def.bounds)]++
+}
+
+// HistSnapshot is an exported copy of one histogram's state.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     int64
+	Buckets []uint64 // len(Bounds())+1; last is the overflow bucket
+}
+
+// Mean returns the mean observed value (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Registry holds the typed counters, gauges, and histograms of one scope.
+// It is a flat value type: embedding it in a Scope costs one allocation for
+// the whole metric set, and every update is an array write.
+//
+// A Registry is not safe for concurrent use; the experiment harness gives
+// each trial (one simulated world, one goroutine) its own.
+type Registry struct {
+	counters [NumCounters]uint64
+	gauges   [NumGauges]int64
+	hists    [NumHists]histogram
+}
+
+// Add increments a counter by n.
+func (r *Registry) Add(c Counter, n uint64) { r.counters[c] += n }
+
+// Counter returns a counter's current value.
+func (r *Registry) Counter(c Counter) uint64 { return r.counters[c] }
+
+// SetGauge records a gauge's latest value.
+func (r *Registry) SetGauge(g Gauge, v int64) { r.gauges[g] = v }
+
+// Gauge returns a gauge's last recorded value.
+func (r *Registry) Gauge(g Gauge) int64 { return r.gauges[g] }
+
+// Observe records a value into a histogram.
+func (r *Registry) Observe(h Hist, v int64) { r.hists[h].observe(&histDefs[h], v) }
+
+// HistCount returns the number of observations in a histogram.
+func (r *Registry) HistCount(h Hist) uint64 { return r.hists[h].count }
+
+// snapshotHist copies one histogram out of the registry.
+func (r *Registry) snapshotHist(h Hist) HistSnapshot {
+	def := &histDefs[h]
+	hg := &r.hists[h]
+	out := HistSnapshot{Count: hg.count, Sum: hg.sum, Buckets: make([]uint64, len(def.bounds)+1)}
+	copy(out.Buckets, hg.buckets[:len(def.bounds)+1])
+	return out
+}

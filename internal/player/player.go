@@ -21,6 +21,7 @@ import (
 	"voxel/internal/abr"
 	"voxel/internal/dash"
 	"voxel/internal/httpsim"
+	"voxel/internal/obs"
 	"voxel/internal/prep"
 	"voxel/internal/qoe"
 	"voxel/internal/quic"
@@ -81,6 +82,10 @@ type Config struct {
 	// FailoverConns are spare connections to additional origin servers; the
 	// client fails over to them when the primary connection closes.
 	FailoverConns []*quic.Conn
+	// Obs receives playback telemetry (segment/rebuffer/abandonment events,
+	// buffer and throughput gauges) and is forwarded to the HTTP client.
+	// Nil disables recording at zero cost.
+	Obs *obs.Scope
 }
 
 // SegmentResult records one delivered segment.
@@ -197,6 +202,7 @@ type Player struct {
 	lastSync     sim.Time
 	stall        time.Duration
 	stalled      bool
+	stallAtStart time.Duration // p.stall when the current rebuffer began
 	nextIndex    int
 	lastQuality  video.Quality
 	tputEstimate float64
@@ -212,6 +218,8 @@ type Player struct {
 
 	// selective retransmission
 	retxActive *retxState
+
+	obs *obs.Scope // nil = telemetry disabled (all calls no-op)
 }
 
 type segState struct {
@@ -269,7 +277,9 @@ func New(s *sim.Sim, conn *quic.Conn, v *video.Video, m *dash.Manifest, cfg Conf
 		video:  v,
 		man:    m,
 		anal:   &prep.Analyzer{Model: cfg.Model, Metric: cfg.Metric},
+		obs:    cfg.Obs,
 	}
+	p.client.SetObs(cfg.Obs)
 	if cfg.Recovery != (httpsim.Recovery{}) {
 		p.client.SetRecovery(cfg.Recovery)
 	}
@@ -326,6 +336,11 @@ func (p *Player) syncBuffer() {
 	}
 	if p.buffer >= elapsed {
 		p.buffer -= elapsed
+		if p.stalled {
+			rebuf := p.stall - p.stallAtStart
+			p.obs.Observe(obs.HStallMs, int64(rebuf/time.Millisecond))
+			p.obs.EventX(obs.EvRebufferStop, int64(p.nextIndex), 0, 0, rebuf.Seconds())
+		}
 		p.stalled = false
 		return
 	}
@@ -333,6 +348,11 @@ func (p *Player) syncBuffer() {
 	stall := elapsed - p.buffer
 	p.buffer = 0
 	if p.nextIndex < p.man.NumSegments() || p.dl != nil {
+		if !p.stalled {
+			p.stallAtStart = p.stall
+			p.obs.Inc(obs.CRebuffers)
+			p.obs.Event(obs.EvRebufferStart, int64(p.nextIndex), 0, 0)
+		}
 		p.stall += stall
 		p.stalled = true
 	}
@@ -491,9 +511,19 @@ func (p *Player) startDownload(cand abr.Candidate) {
 		segStart:  seg.MediaRange[0],
 		state:     state,
 	}
+	p.recordChoice(idx, cand)
 	p.dl = dl
 	p.issueRequests(dl, seg)
 	p.schedulePoll(dl)
+}
+
+// recordChoice emits the telemetry for one committed download candidate.
+func (p *Player) recordChoice(idx int, cand abr.Candidate) {
+	p.obs.EventX(obs.EvSegmentChosen, int64(idx), int64(cand.Quality), int64(cand.Bytes), cand.Score)
+	if cand.Virtual {
+		p.obs.Inc(obs.CVirtualSegments)
+		p.obs.Event(obs.EvVirtualLevel, int64(idx), int64(cand.Quality), int64(cand.Bytes))
+	}
 }
 
 // issueRequests issues the mode-appropriate HTTP requests for the current
@@ -521,7 +551,7 @@ func (p *Player) issueRequests(dl *download, seg *dash.SegmentInfo) {
 		dl.bodySpec = spec
 		dl.relDone = true // no separate reliable phase
 		dl.body = p.client.Get(path, spec, false, nil)
-		p.wireBody(dl)
+		p.wireBody(dl, false)
 	case ModeOpaque, ModeVoxel:
 		// Two-phase fetch (§4.2): reliable I-frame + headers, then the
 		// frame bodies over an unreliable stream.
@@ -538,6 +568,8 @@ func (p *Player) issueRequests(dl *download, seg *dash.SegmentInfo) {
 				dl.state.received.Add(uint64(r[0]-base), uint64(r[1]-base))
 			}
 			dl.gotBytes += int(relSpec.TotalBytes())
+			p.obs.Count(obs.CBytesReliable, uint64(relSpec.TotalBytes()))
+			p.obs.Event(obs.EvBytesReliable, int64(dl.index), relSpec.TotalBytes(), 0)
 			p.maybeFinishDownload(dl)
 		}
 		rel.OnFail = func(error) {
@@ -581,7 +613,7 @@ func (p *Player) issueRequests(dl *download, seg *dash.SegmentInfo) {
 		}
 		dl.bodySpec = toAbs(bodyRanges)
 		dl.body = p.client.Get(path, dl.bodySpec, true, nil)
-		p.wireBody(dl)
+		p.wireBody(dl, true)
 	}
 }
 
@@ -624,15 +656,21 @@ func (p *Player) prefixSpec(idx int, seg *dash.SegmentInfo, cand abr.Candidate, 
 }
 
 // wireBody attaches delivery callbacks for the body response of dl.
-func (p *Player) wireBody(dl *download) {
+// unreliable says which stream kind carries the body, for telemetry.
+func (p *Player) wireBody(dl *download, unreliable bool) {
 	body := dl.body
 	spec := dl.bodySpec
 	segStart := dl.segStart
+	byteCtr := obs.CBytesReliable
+	if unreliable {
+		byteCtr = obs.CBytesUnreliable
+	}
 	body.OnBody = func(off int64, data []byte) {
 		if dl.finished || p.dl != dl {
 			return
 		}
 		dl.gotBytes += len(data)
+		p.obs.Count(byteCtr, uint64(len(data)))
 		mapBody(spec, off, int64(len(data)), func(s, e int64) {
 			dl.state.received.Add(uint64(s-segStart), uint64(e-segStart))
 		})
@@ -650,6 +688,11 @@ func (p *Player) wireBody(dl *download) {
 			return
 		}
 		dl.bodyDone = true
+		if unreliable {
+			p.obs.Event(obs.EvBytesUnreliable, int64(dl.index), body.BytesReceived(), 0)
+		} else {
+			p.obs.Event(obs.EvBytesReliable, int64(dl.index), body.BytesReceived(), 0)
+		}
 		p.maybeFinishDownload(dl)
 	}
 	body.OnFail = func(error) {
@@ -752,6 +795,9 @@ func (p *Player) restartDownload(dl *download, cand abr.Candidate) {
 	p.cancel(dl)
 	wasted := dl.gotBytes
 	p.results.BytesWasted += int64(wasted)
+	p.obs.Inc(obs.CAbandonRestarts)
+	p.obs.Event(obs.EvAbandonRestart, int64(dl.index), int64(wasted), int64(cand.Bytes))
+	p.recordChoice(dl.index, cand)
 
 	seg := p.man.Segment(cand.Quality, dl.index)
 	state := &segState{index: dl.index, quality: cand.Quality, target: cand.Bytes}
@@ -775,6 +821,8 @@ func (p *Player) finishPartial(dl *download) {
 	if dl.finished {
 		return
 	}
+	p.obs.Inc(obs.CAbandonPartials)
+	p.obs.Event(obs.EvAbandonPartial, int64(dl.index), int64(dl.gotBytes), int64(dl.cand.Bytes))
 	// Mark everything not yet received in the *planned* spec as lost; the
 	// reliable part, if incomplete, still completes in the background but
 	// we score with what we have now.
@@ -814,20 +862,22 @@ func (p *Player) completeSegment(dl *download) {
 			p.tputEstimate = 0.7*p.tputEstimate + 0.3*sample
 		}
 		p.cfg.Algorithm.OnSample(abr.Sample{Throughput: sample, Duration: elapsed})
+		p.obs.Observe(obs.HTputKbps, int64(sample/1000))
 	}
+	p.obs.Observe(obs.HSegmentMs, int64(elapsed/time.Millisecond))
 
 	score := p.scoreSegment(st)
 	full := p.man.Segment(st.quality, st.index).Bytes
 	got := int(st.received.CoveredBytes())
 	res := SegmentResult{
-		Index:      st.index,
-		Quality:    st.quality,
-		Virtual:    dl.cand.Virtual,
-		TargetByte: dl.cand.Bytes,
-		GotBytes:   got,
-		LostBytes:  int(st.lost.CoveredBytes()),
-		Score:      score,
-		Restarts:   dl.restarts,
+		Index:       st.index,
+		Quality:     st.quality,
+		Virtual:     dl.cand.Virtual,
+		TargetByte:  dl.cand.Bytes,
+		GotBytes:    got,
+		LostBytes:   int(st.lost.CoveredBytes()),
+		Score:       score,
+		Restarts:    dl.restarts,
 		WastedBytes: dl.wasted,
 	}
 	st.resultIx = len(p.results.Segments)
@@ -844,13 +894,19 @@ func (p *Player) completeSegment(dl *download) {
 		p.results.Switches++
 	}
 
+	p.obs.Inc(obs.CSegments)
+	p.obs.EventX(obs.EvSegmentDone, int64(st.index), int64(got), int64(st.lost.CoveredBytes()), score)
+
 	p.buffer += p.man.SegmentDuration
 	if !p.started {
 		p.started = true
 		p.startupAt = p.sim.Now()
 		p.results.StartupDelay = p.sim.Now()
 		p.lastSync = p.sim.Now()
+		p.obs.EventX(obs.EvStartup, int64(st.index), 0, 0, p.results.StartupDelay.Seconds())
 	}
+	p.obs.SetGauge(obs.GBufferMs, int64(p.buffer/time.Millisecond))
+	p.obs.SetGauge(obs.GThroughputKbps, int64(p.tputEstimate/1000))
 	p.lastQuality = st.quality
 	p.nextIndex++
 	p.dl = nil
@@ -913,7 +969,9 @@ func (p *Player) maybeSelectiveRetx() {
 			mapBody(spec, off, int64(len(data)), func(s, e int64) {
 				before := st.received.CoveredBytes()
 				st.received.Add(uint64(s-segStart), uint64(e-segStart))
-				p.results.RecoveredBytes += int64(st.received.CoveredBytes() - before)
+				recovered := st.received.CoveredBytes() - before
+				p.results.RecoveredBytes += int64(recovered)
+				p.obs.Count(obs.CRecoveredBytes, recovered)
 			})
 		}
 		resp.OnComplete = func() {

@@ -6,6 +6,7 @@ import (
 
 	"voxel/internal/cc"
 	"voxel/internal/netem"
+	"voxel/internal/obs"
 	"voxel/internal/sim"
 )
 
@@ -47,6 +48,12 @@ type Config struct {
 	// backoff); with a cap, persistent congestion is declared once per
 	// streak and the exponent keeps growing up to the cap.
 	PTOBackoffCap int
+
+	// Obs receives transport telemetry (packet/byte counters, RTT samples,
+	// loss-report events). Nil disables recording at zero cost: every scope
+	// method no-ops on a nil receiver, which the ACK-path allocation tests
+	// pin at 0 allocs/op.
+	Obs *obs.Scope
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +110,7 @@ type Conn struct {
 	ctl   cc.Controller
 	rtt   cc.RTTEstimator
 	stats Stats
+	obs   *obs.Scope // nil = telemetry disabled (all calls no-op)
 
 	// packet number spaces
 	nextPN        uint64
@@ -184,6 +192,7 @@ func newConn(s *sim.Sim, link *netem.Link, cfg Config, isClient bool) *Conn {
 		cfg:       cfg,
 		link:      link,
 		ctl:       cfg.Controller,
+		obs:       cfg.Obs,
 		streams:   make(map[uint64]*Stream),
 		recvLimit: cfg.InitialMaxData,
 	}
@@ -263,6 +272,8 @@ func (c *Conn) Close(reason error) {
 	}
 	c.closed = true
 	c.closeErr = reason
+	c.obs.Inc(obs.CConnCloses)
+	c.obs.Event(obs.EvConnClosed, closeReasonCode(reason), 0, 0)
 	c.ptoTimer.Stop()
 	c.ackTimer.Stop()
 	c.paceTimer.Stop()
@@ -283,6 +294,18 @@ func (c *Conn) Close(reason error) {
 	c.ackPending = false
 	if c.onClose != nil {
 		c.onClose(reason)
+	}
+}
+
+// closeReasonCode maps a close reason to its telemetry code.
+func closeReasonCode(reason error) int64 {
+	switch reason {
+	case ErrIdleTimeout:
+		return obs.ReasonIdleTimeout
+	case ErrClosed:
+		return obs.ReasonClosed
+	default:
+		return obs.ReasonOther
 	}
 }
 
@@ -468,6 +491,7 @@ func (c *Conn) sendOnePacket() bool {
 				budget -= f.wireSize()
 				sp.streamFrames = append(sp.streamFrames, f)
 				c.stats.RetransmitBytes += uint64(len(f.Data))
+				c.obs.Count(obs.CRetransmitBytes, uint64(len(f.Data)))
 			} else {
 				// Split: send a prefix now, keep the suffix queued.
 				avail := budget - hdr
@@ -483,6 +507,7 @@ func (c *Conn) sendOnePacket() bool {
 				budget -= head.wireSize()
 				sp.streamFrames = append(sp.streamFrames, head)
 				c.stats.RetransmitBytes += uint64(len(head.Data))
+				c.obs.Count(obs.CRetransmitBytes, uint64(len(head.Data)))
 			}
 		}
 		// Application-level rewrites on unreliable streams (selective retx).
@@ -532,6 +557,7 @@ func (c *Conn) sendOnePacket() bool {
 			sp.streamFrames = append(sp.streamFrames, f)
 			c.sentData += uint64(len(f.Data))
 			c.stats.StreamBytesSent += uint64(len(f.Data))
+			c.obs.Count(obs.CStreamBytesSent, uint64(len(f.Data)))
 		}
 	}
 
@@ -550,6 +576,8 @@ func (c *Conn) sendOnePacket() bool {
 
 	c.stats.PacketsSent++
 	c.stats.BytesSent += uint64(len(encoded))
+	c.obs.Inc(obs.CPacketsSent)
+	c.obs.Count(obs.CBytesSent, uint64(len(encoded)))
 
 	if sp.ackEliciting {
 		c.sentQ.push(sp)
@@ -614,6 +642,8 @@ func (c *Conn) sendAckNow() {
 	encoded := pkt.AppendTo(c.getBuf())
 	c.stats.PacketsSent++
 	c.stats.BytesSent += uint64(len(encoded))
+	c.obs.Inc(obs.CPacketsSent)
+	c.obs.Count(obs.CBytesSent, uint64(len(encoded)))
 	peer := c.peer
 	if !c.link.Send(netem.Datagram{
 		Size:    len(encoded) + c.cfg.Overhead,
@@ -648,6 +678,7 @@ func (c *Conn) receive(encoded []byte) {
 		return // corrupt packets are dropped atomically, as before
 	}
 	c.stats.PacketsReceived++
+	c.obs.Inc(obs.CPacketsReceived)
 	c.recvdPNs.Add(pn, pn+1)
 	c.lastRecv = c.sim.Now()
 	if c.idleTimer != nil {
@@ -703,6 +734,8 @@ func (c *Conn) receive(encoded []byte) {
 			f.Offset, rest, _ = consumeVarint(rest)
 			f.Length, rest, _ = consumeVarint(rest)
 			b = rest
+			c.obs.Count(obs.CLossReportedBytes, f.Length)
+			c.obs.Event(obs.EvLossReport, int64(f.StreamID), int64(f.Offset), int64(f.Length))
 			if s := c.streams[f.StreamID]; s != nil {
 				s.handleLossReport(f)
 			}
@@ -799,6 +832,7 @@ func (c *Conn) onAck(f *AckFrame) {
 		// largest packet, taken before the congestion-controller callbacks.
 		if last := newlyAcked[len(newlyAcked)-1]; last.pn == largest {
 			c.rtt.OnSample(now - last.sentAt)
+			c.obs.Observe(obs.HRTTMs, int64((now-last.sentAt)/time.Millisecond))
 		}
 		for _, sp := range newlyAcked {
 			c.ctl.OnAck(now, sp.size, now-sp.sentAt)
@@ -850,6 +884,7 @@ func (c *Conn) detectLosses(now sim.Time) {
 	for i := 0; i < lost; i++ {
 		sp := q.pk[q.head+i]
 		c.stats.PacketsDeclLost++
+		c.obs.Inc(obs.CPacketsLost)
 		isNew := sp.sentAt >= c.recoveryStart
 		if isNew {
 			c.recoveryStart = now
@@ -868,6 +903,7 @@ func (c *Conn) requeueLost(sp *sentPacket) {
 	for _, f := range sp.streamFrames {
 		if f.Unreliable {
 			c.stats.UnreliableLost += uint64(len(f.Data))
+			c.obs.Count(obs.CUnreliableLostBytes, uint64(len(f.Data)))
 			c.ctrlQ = append(c.ctrlQ, &LossReportFrame{
 				StreamID: f.StreamID,
 				Offset:   f.Offset,
@@ -912,6 +948,7 @@ func (c *Conn) onPTO() {
 	}
 	c.ptoCount++
 	c.stats.PTOCount++
+	c.obs.Inc(obs.CPTOs)
 	now := c.sim.Now()
 	// Persistent congestion at 3 consecutive PTOs. Legacy (no backoff cap)
 	// resets the backoff each time, retrying the whole window at full tempo;
@@ -955,6 +992,8 @@ func (c *Conn) onPTO() {
 	sp.probe = true
 	c.sentQ.push(sp)
 	c.stats.PacketsSent++
+	c.obs.Inc(obs.CPacketsSent)
+	c.obs.Count(obs.CBytesSent, uint64(len(encoded)))
 	c.lastAckElic = now
 	peer := c.peer
 	if !c.link.Send(netem.Datagram{

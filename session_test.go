@@ -1,0 +1,143 @@
+package voxel
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// The deprecated Stream wrapper and the Session API must produce identical
+// aggregates for equivalent inputs — Stream is a thin shim, not a fork.
+func TestStreamSessionEquivalence(t *testing.T) {
+	tr, err := LoadTrace("verizon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Title: "BBB", System: VOXEL, Trace: tr,
+		BufferSegments: 2, Trials: 2, Segments: 4,
+	}
+	fromStream, err := Stream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSession, rep, err := New("BBB",
+		WithSystem(VOXEL),
+		WithTrace(tr),
+		WithBuffer(2),
+		WithTrials(2),
+		WithSegments(4),
+	).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep != nil {
+		t.Fatal("telemetry report without WithTelemetry")
+	}
+	if !reflect.DeepEqual(fromStream.Trials, fromSession.Trials) {
+		t.Fatalf("Stream and Session.Run diverge:\n%+v\nvs\n%+v",
+			fromStream.Trials, fromSession.Trials)
+	}
+}
+
+// The System default (VOXEL) is applied uniformly by the experiment layer,
+// for both entry points.
+func TestDefaultSystemUniform(t *testing.T) {
+	a, err := Stream(Config{Title: "BBB", Trials: 1, Segments: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := New("BBB", WithTrials(1), WithSegments(3)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Config.System != VOXEL || b.Config.System != VOXEL {
+		t.Fatalf("default system = %q / %q, want %q",
+			a.Config.System, b.Config.System, VOXEL)
+	}
+	if !reflect.DeepEqual(a.Trials, b.Trials) {
+		t.Fatal("defaulted runs diverge between Stream and Session")
+	}
+}
+
+func TestSessionTypedErrors(t *testing.T) {
+	if _, _, err := New("NotATitle").Run(); !errors.Is(err, ErrUnknownTitle) {
+		t.Fatalf("unknown title: got %v, want ErrUnknownTitle", err)
+	}
+	if _, _, err := New("").Run(); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("missing title: got %v, want ErrInvalidConfig", err)
+	}
+	if _, _, err := New("BBB", WithTraceName("nope")).Run(); !errors.Is(err, ErrUnknownTrace) {
+		t.Fatalf("unknown trace: got %v, want ErrUnknownTrace", err)
+	}
+	if _, _, err := New("BBB", WithImpairment("hurricane")).Run(); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("unknown impairment: got %v, want ErrInvalidConfig", err)
+	}
+	if _, err := Stream(Config{Title: "NotATitle"}); !errors.Is(err, ErrUnknownTitle) {
+		t.Fatalf("Stream unknown title: got %v, want ErrUnknownTitle", err)
+	}
+	if _, err := Stream(Config{}); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("Stream missing title: got %v, want ErrInvalidConfig", err)
+	}
+	if _, err := LoadVideo("nope"); !errors.Is(err, ErrUnknownTitle) {
+		t.Fatalf("LoadVideo: got %v, want ErrUnknownTitle", err)
+	}
+	if _, err := LoadTrace("nope"); !errors.Is(err, ErrUnknownTrace) {
+		t.Fatalf("LoadTrace: got %v, want ErrUnknownTrace", err)
+	}
+}
+
+func TestSessionTelemetryReport(t *testing.T) {
+	agg, rep, err := New("BBB",
+		WithTraceName("tmobile"),
+		WithBuffer(1),
+		WithTrials(1),
+		WithSegments(6),
+		WithImpairment("bursty"),
+		WithTelemetry(),
+	).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || len(rep.Trials) != 1 {
+		t.Fatal("WithTelemetry did not yield a report")
+	}
+	if rep != agg.Obs {
+		t.Fatal("returned report is not the aggregate's")
+	}
+	if len(rep.Trials[0].Events) == 0 {
+		t.Fatal("telemetry report has no timeline events")
+	}
+}
+
+func TestSessionContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	agg, _, err := New("BBB", WithTrials(2), WithSegments(3), WithContext(ctx)).Run()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if agg != nil {
+		t.Fatal("pre-cancelled context should not run any trial")
+	}
+}
+
+func TestClipFromAggregateEmptyGuard(t *testing.T) {
+	for _, a := range []*Aggregate{nil, {}, {Trials: make([]Trial, 0)}} {
+		c := ClipFromAggregate(a)
+		if c != (Clip{}) {
+			t.Fatalf("empty aggregate should give zero clip, got %+v", c)
+		}
+	}
+	// The zero clip flows through RunSurvey without NaN poisoning.
+	b, v := PaperClips()
+	out := RunSurvey(10, 1, b, v)
+	if out.PreferB != out.PreferB { // NaN check
+		t.Fatal("survey outcome is NaN")
+	}
+	empty := RunSurvey(10, 1, ClipFromAggregate(nil), ClipFromAggregate(&Aggregate{}))
+	if empty.PreferB != empty.PreferB {
+		t.Fatal("empty-clip survey outcome is NaN")
+	}
+}

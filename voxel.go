@@ -1,11 +1,13 @@
 package voxel
 
 import (
+	"errors"
 	"fmt"
 
 	"voxel/internal/dash"
 	"voxel/internal/exp"
 	"voxel/internal/netem"
+	"voxel/internal/obs"
 	"voxel/internal/prep"
 	"voxel/internal/qoe"
 	"voxel/internal/stats"
@@ -34,10 +36,30 @@ type (
 	Config = exp.Config
 	// Aggregate holds the trials of one experiment cell.
 	Aggregate = exp.Aggregate
+	// Trial is one playback run's summary within an Aggregate.
+	Trial = exp.Trial
+	// Clip is the clip-statistics input to RunSurvey.
+	Clip = survey.Clip
+	// Outcome is the user-study result RunSurvey returns.
+	Outcome = survey.Outcome
 	// Plan is the offline per-segment analysis result.
 	Plan = prep.Plan
 	// Summary is a sample summary (mean, percentiles, ...).
 	Summary = stats.Summary
+	// Report is the aggregated telemetry of one experiment cell (see
+	// Session.Run and Config.Telemetry).
+	Report = obs.Report
+)
+
+// Typed sentinel errors returned (wrapped) by the facade; test with
+// errors.Is.
+var (
+	// ErrUnknownTitle reports a title outside the catalog.
+	ErrUnknownTitle = errors.New("voxel: unknown title")
+	// ErrUnknownTrace reports a trace name outside the canonical set.
+	ErrUnknownTrace = errors.New("voxel: unknown trace")
+	// ErrInvalidConfig reports a configuration that fails validation.
+	ErrInvalidConfig = errors.New("voxel: invalid config")
 )
 
 // QoE metrics.
@@ -61,8 +83,15 @@ const (
 	VOXELUntuned = exp.SysVoxelUntuned
 )
 
-// LoadVideo loads a catalog title (BBB, ED, Sintel, ToS, P1–P10).
-func LoadVideo(name string) (*Video, error) { return video.Load(name) }
+// LoadVideo loads a catalog title (BBB, ED, Sintel, ToS, P1–P10). Unknown
+// names return an error wrapping ErrUnknownTitle.
+func LoadVideo(name string) (*Video, error) {
+	v, err := video.Load(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownTitle, name, video.AllTitles())
+	}
+	return v, nil
+}
 
 // Titles lists the four canonical evaluation titles.
 func Titles() []string { return video.TestTitles() }
@@ -71,8 +100,14 @@ func Titles() []string { return video.TestTitles() }
 func YouTubeTitles() []string { return video.YouTubeTitles() }
 
 // LoadTrace resolves a canonical trace by name: tmobile, verizon, att, 3g,
-// fcc, wild.
-func LoadTrace(name string) (*Trace, error) { return trace.ByName(name) }
+// fcc, wild. Unknown names return an error wrapping ErrUnknownTrace.
+func LoadTrace(name string) (*Trace, error) {
+	tr, err := trace.ByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownTrace, name, trace.Names())
+	}
+	return tr, nil
+}
 
 // TraceNames lists the canonical trace names.
 func TraceNames() []string { return trace.Names() }
@@ -108,15 +143,14 @@ func DropTolerance(v *Video, q Quality, target float64) []float64 {
 }
 
 // Stream runs a full streaming experiment (all trials) and returns the
-// aggregate. It is the one-call entry point the examples use.
+// aggregate. Defaults (System = VOXEL, buffer, trials, seed) are applied
+// uniformly by the experiment layer, identically to Session.Run.
+//
+// Deprecated: use New(title, opts...).Run(), which also returns the
+// telemetry report and accepts a context. Stream remains as a thin wrapper
+// and produces aggregates identical to an option-equivalent Session.
 func Stream(cfg Config) (*Aggregate, error) {
-	if cfg.Title == "" {
-		return nil, fmt.Errorf("voxel: missing title")
-	}
-	if cfg.System == "" {
-		cfg.System = VOXEL
-	}
-	if err := cfg.Validate(); err != nil {
+	if err := validateConfig(cfg); err != nil {
 		return nil, err
 	}
 	return exp.Run(cfg), nil
@@ -130,12 +164,20 @@ func ImpairmentProfiles() []string { return netem.Profiles() }
 func Summarize(xs []float64) Summary { return stats.Summarize(xs) }
 
 // RunSurvey evaluates the §5.3 user-study model on two streamed outcomes.
-func RunSurvey(users int, seed int64, baseline, voxelClip survey.Clip) survey.Outcome {
+func RunSurvey(users int, seed int64, baseline, voxelClip Clip) Outcome {
 	return survey.NewPanel(users, seed).Evaluate(baseline, voxelClip)
 }
 
-// ClipFromAggregate derives survey-clip statistics from an experiment.
+// PaperClips returns the paper's §5.3 baseline/VOXEL clip statistics.
+func PaperClips() (baseline, voxelClip Clip) { return survey.PaperClips() }
+
+// ClipFromAggregate derives survey-clip statistics from an experiment. An
+// empty aggregate (no trials or no scored segments) yields the zero Clip
+// rather than NaN fields that would poison RunSurvey's MOS arithmetic.
 func ClipFromAggregate(a *Aggregate) survey.Clip {
+	if a == nil || len(a.Trials) == 0 || len(a.AllScores) == 0 {
+		return survey.Clip{}
+	}
 	scores := a.AllScores
 	return survey.Clip{
 		BufRatio:         stats.Mean(a.BufRatios),
@@ -146,7 +188,10 @@ func ClipFromAggregate(a *Aggregate) survey.Clip {
 }
 
 func residualMean(a *Aggregate) float64 {
-	var xs []float64
+	if a == nil || len(a.Trials) == 0 {
+		return 0
+	}
+	xs := make([]float64, 0, len(a.Trials))
 	for _, t := range a.Trials {
 		xs = append(xs, t.Residual)
 	}
