@@ -35,6 +35,10 @@ func main() {
 		"add a second origin and permanently blackhole the primary path mid-stream")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"concurrent trial workers (1 = sequential; results are identical either way)")
+	sessions := flag.Int("sessions", 1,
+		"concurrent video sessions per trial sharing one bottleneck (swarm mode)")
+	swarm := flag.Bool("swarm", false,
+		"print the per-session swarm breakdown (fairness, utilization); implied by -sessions > 1")
 	telemetry := flag.Bool("telemetry", false,
 		"collect per-trial obs counters and timeline events (zero impact on results)")
 	telemetryOut := flag.String("telemetry-out", "",
@@ -64,6 +68,10 @@ func main() {
 		voxel.WithQueue(*queue),
 		voxel.WithSeed(*seed),
 		voxel.WithParallelism(*parallel),
+		voxel.WithSessions(*sessions),
+	}
+	if *sessions > 1 {
+		*swarm = true
 	}
 	if *impair != "" {
 		opts = append(opts, voxel.WithImpairment(*impair))
@@ -130,6 +138,10 @@ func main() {
 		fmt.Printf("%-26s %d/%d\n", "incomplete trials:", incomplete, len(agg.Trials))
 	}
 
+	if *swarm {
+		printSwarm(agg)
+	}
+
 	if *telemetry {
 		fmt.Println()
 		fmt.Print(report.Summary())
@@ -139,6 +151,40 @@ func main() {
 		if err := exportTelemetry(report, *telemetryOut, *telemetryCSV); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// printSwarm renders the per-session breakdown: fairness and utilization
+// summaries plus one row per session index averaged across trials.
+func printSwarm(agg *voxel.Aggregate) {
+	n := 0
+	for _, t := range agg.Trials {
+		if len(t.Sessions) > n {
+			n = len(t.Sessions)
+		}
+	}
+	fmt.Printf("\nswarm: %d sessions through one bottleneck\n", n)
+	fmt.Printf("%-26s %.4f\n", "Jain fairness (mean):", agg.JainMean())
+	fmt.Printf("%-26s %.2f%%\n", "bottleneck util (mean):", 100*agg.UtilizationMean())
+	fmt.Printf("%-26s %.4f\n", "session QoE (p5):", agg.SessionQoEP5())
+	fmt.Printf("%-26s %v\n", "total stall time:", agg.TotalStall())
+	fmt.Printf("%9s  %12s  %10s  %10s  %10s\n",
+		"session", "bitrate", "QoE", "bufRatio", "stall")
+	for si := 0; si < n; si++ {
+		var rate, score, buf, stall []float64
+		for _, t := range agg.Trials {
+			if si >= len(t.Sessions) {
+				continue
+			}
+			sr := t.Sessions[si]
+			rate = append(rate, sr.AvgBitrate)
+			score = append(score, sr.MeanScore)
+			buf = append(buf, sr.BufRatio)
+			stall = append(stall, sr.StallTime.Seconds())
+		}
+		fmt.Printf("%9d  %9.2f Mb  %10.4f  %9.2f%%  %9.2fs\n",
+			si, stats.Mean(rate)/1e6, stats.Mean(score),
+			100*stats.Mean(buf), stats.Mean(stall))
 	}
 }
 

@@ -39,6 +39,9 @@ type Generator struct {
 
 	stats   Stats
 	stopped bool
+	// arrival is the pending next-arrival event, kept so Stop can cancel
+	// it: an arrival scheduled before Stop must not start one last flow.
+	arrival *sim.Event
 }
 
 // New returns a generator offering targetRate bps of load through path.
@@ -55,8 +58,15 @@ func New(s *sim.Sim, path *netem.Path, targetRate float64) *Generator {
 // Stats returns a snapshot of the counters.
 func (g *Generator) Stats() Stats { return g.stats }
 
-// Stop halts new flow arrivals (running flows drain).
-func (g *Generator) Stop() { g.stopped = true }
+// Stop halts new flow arrivals (running flows drain). Any already-scheduled
+// arrival is canceled, so FlowsStarted is final the moment Stop returns.
+func (g *Generator) Stop() {
+	g.stopped = true
+	if g.arrival != nil {
+		g.sim.Cancel(g.arrival)
+		g.arrival = nil
+	}
+}
 
 // Start begins the arrival process.
 func (g *Generator) Start() {
@@ -70,7 +80,10 @@ func (g *Generator) scheduleArrival() {
 	// Offered load = arrivalRate × meanBytes × 8.
 	lambda := g.TargetRate / (g.MeanFileBytes * 8)
 	wait := sim.Time(g.sim.Rand().ExpFloat64() / lambda * float64(sim.Time(1e9)))
-	g.sim.Schedule(wait, func() {
+	g.arrival = g.sim.Schedule(wait, func() {
+		// The handle just fired; drop it so Stop can't cancel a recycled
+		// event.
+		g.arrival = nil
 		g.startFlow(g.fileSize())
 		g.scheduleArrival()
 	})

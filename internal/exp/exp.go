@@ -102,11 +102,26 @@ type Config struct {
 	// TimelineCap overrides the per-trial event ring capacity
 	// (obs.DefaultTimelineCap when zero). Only meaningful with Telemetry.
 	TimelineCap int
-	// Interrupt, when non-nil, aborts the run between trials once the
-	// channel is closed (e.g. a context's Done channel). Trials already
-	// dispatched finish; remaining ones are skipped and left zero-valued.
+	// Interrupt, when non-nil, aborts the run once the channel is closed
+	// (e.g. a context's Done channel). Pending trials are skipped and left
+	// zero-valued; trials already in flight notice the close at periodic
+	// virtual-time checkpoints and return early with Completed=false, so
+	// even a blackholed or unbounded trial cannot outlive its caller.
 	Interrupt <-chan struct{}
+	// Sessions is the number of concurrent video sessions per trial (swarm
+	// mode). Each session is a full independent stack — QUIC* connection
+	// pair, origin server, HTTP client, player, ABR — and all of them are
+	// multiplexed through the one shared bottleneck path, optionally
+	// alongside cross traffic. 0 and 1 both run a single session and are
+	// bit-identical to each other. Per-session summaries land in
+	// Trial.Sessions along with the trial's Jain fairness index and
+	// bottleneck utilization.
+	Sessions int
 }
+
+// MaxSessions caps Config.Sessions: each session costs a full stack, and a
+// larger swarm is almost certainly a misconfigured flag.
+const MaxSessions = 512
 
 func (c Config) withDefaults() Config {
 	if c.System == "" {
@@ -151,7 +166,18 @@ func (c Config) Validate() error {
 	if _, _, err := netem.NewProfile(c.Impairment); err != nil {
 		return err
 	}
+	if c.Sessions < 0 || c.Sessions > MaxSessions {
+		return fmt.Errorf("exp: sessions %d out of range [0, %d]", c.Sessions, MaxSessions)
+	}
 	return nil
+}
+
+// sessions resolves the Sessions knob (0 and 1 both mean one session).
+func (c Config) sessions() int {
+	if c.Sessions <= 1 {
+		return 1
+	}
+	return c.Sessions
 }
 
 // workers resolves the Parallelism knob to a concrete worker count.
@@ -169,7 +195,30 @@ func (c Config) workers() int {
 // path for good.
 const FailoverKillTime = 30 * time.Second
 
-// Trial is one playback run's summary.
+// SessionResult is one session's summary within a trial. Single-session
+// trials have exactly one (identical to the trial-level fields); swarm
+// trials have Config.Sessions of them, and the fairness metrics are
+// computed over this unit.
+type SessionResult struct {
+	Session      int
+	BufRatio     float64
+	AvgBitrate   float64
+	MeanScore    float64
+	Scores       []float64
+	Skipped      float64
+	Residual     float64
+	Wasted       int64
+	StartupDelay time.Duration
+	StallTime    time.Duration
+	Completed    bool
+	FailedReqs   int
+}
+
+// Trial is one playback run's summary. In swarm mode (Config.Sessions > 1)
+// the scalar metrics fold the per-session results: means for the
+// ratio/rate/score fields, sums for the byte and failure counters, and
+// Completed only when every session finished. Scores concatenates the
+// sessions' per-segment scores in session order.
 type Trial struct {
 	BufRatio     float64
 	AvgBitrate   float64
@@ -181,8 +230,20 @@ type Trial struct {
 	StartupDelay time.Duration
 	Completed    bool
 	FailedReqs   int // requests abandoned after deadline/retry/failover
-	// Obs is the trial's telemetry report (nil when Config.Telemetry is off).
-	Obs *obs.TrialReport
+	// Sessions holds the per-session summaries (length max(1, Sessions)).
+	Sessions []SessionResult
+	// Jain is Jain's fairness index over the sessions' delivered bitrates:
+	// 1.0 means a perfectly even split of the bottleneck, 1/n means one
+	// session starved the rest. Always 1.0 for a single session.
+	Jain float64
+	// Utilization is the busy fraction of the shared bottleneck link from
+	// trial start until the last session finished (video plus cross
+	// traffic).
+	Utilization float64
+	// Obs is the first session's telemetry report (nil when
+	// Config.Telemetry is off); SessionObs holds every session's report.
+	Obs        *obs.TrialReport
+	SessionObs []*obs.TrialReport
 }
 
 // Aggregate collects trials of one configuration.
@@ -211,6 +272,66 @@ func (a *Aggregate) ScoreCDF() stats.CDF { return stats.NewCDF(a.AllScores) }
 
 // MeanScore returns the mean segment score across trials.
 func (a *Aggregate) MeanScore() float64 { return stats.Mean(a.AllScores) }
+
+// SessionScores returns the per-session mean-QoE vector in (trial,
+// session) order — the unit the swarm fairness summaries quantify over.
+func (a *Aggregate) SessionScores() []float64 {
+	var out []float64
+	for _, tr := range a.Trials {
+		for _, sr := range tr.Sessions {
+			out = append(out, sr.MeanScore)
+		}
+	}
+	return out
+}
+
+// SessionBitrates returns the per-session delivered bitrates (bps) in
+// (trial, session) order.
+func (a *Aggregate) SessionBitrates() []float64 {
+	var out []float64
+	for _, tr := range a.Trials {
+		for _, sr := range tr.Sessions {
+			out = append(out, sr.AvgBitrate)
+		}
+	}
+	return out
+}
+
+// SessionQoEP5 returns the 5th-percentile per-session mean QoE — the
+// "worst user" statistic a shared bottleneck is judged by.
+func (a *Aggregate) SessionQoEP5() float64 {
+	return stats.Percentile(a.SessionScores(), 5)
+}
+
+// JainMean returns the mean per-trial Jain fairness index over delivered
+// bitrate.
+func (a *Aggregate) JainMean() float64 {
+	xs := make([]float64, 0, len(a.Trials))
+	for _, tr := range a.Trials {
+		xs = append(xs, tr.Jain)
+	}
+	return stats.Mean(xs)
+}
+
+// UtilizationMean returns the mean bottleneck busy fraction across trials.
+func (a *Aggregate) UtilizationMean() float64 {
+	xs := make([]float64, 0, len(a.Trials))
+	for _, tr := range a.Trials {
+		xs = append(xs, tr.Utilization)
+	}
+	return stats.Mean(xs)
+}
+
+// TotalStall sums rebuffering time over every session of every trial.
+func (a *Aggregate) TotalStall() time.Duration {
+	var d time.Duration
+	for _, tr := range a.Trials {
+		for _, sr := range tr.Sessions {
+			d += sr.StallTime
+		}
+	}
+	return d
+}
 
 // newAlgorithm builds the ABR instance for a system.
 func newAlgorithm(sys System) (abr.Algorithm, player.Mode, bool) {
@@ -363,11 +484,11 @@ func runConfigs(cfgs []Config, workers int) []*Aggregate {
 			agg.AllScores = append(agg.AllScores, tr.Scores...)
 		}
 		if c.Telemetry {
-			reports := make([]*obs.TrialReport, len(trials[ci]))
+			cells := make([][]*obs.TrialReport, len(trials[ci]))
 			for ti := range trials[ci] {
-				reports[ti] = trials[ci][ti].Obs
+				cells[ti] = trials[ci][ti].SessionObs
 			}
-			agg.Obs = obs.Merge(reports)
+			agg.Obs = obs.MergeSessions(cells)
 		}
 		out[ci] = agg
 	}
@@ -392,17 +513,30 @@ func buildPath(s *sim.Sim, cfg Config, man *dash.Manifest, shift time.Duration) 
 	return netem.NewPath(s, tr.Shifted(shift), cfg.QueuePackets)
 }
 
+// interruptCheckpoint is how often (in virtual time) runTrial comes up for
+// air to poll Config.Interrupt while the event loop runs. Slicing RunUntil
+// into checkpoints executes the exact same events in the same order as one
+// call, so results stay bit-identical; it only bounds how much virtual
+// time a cancellation can lag.
+const interruptCheckpoint = time.Second
+
 func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64) Trial {
 	s := sim.New(seed)
+	n := cfg.sessions()
 
-	// One scope per trial: the trial's world is single-threaded, so event
-	// sequence numbers are deterministic even under parallel trial fan-out.
-	var scope *obs.Scope
+	// One scope per session: each trial's world is single-threaded, so
+	// event sequence numbers are deterministic even under parallel trial
+	// fan-out, and per-session scopes keep swarm telemetry attributable.
+	scopes := make([]*obs.Scope, n)
 	if cfg.Telemetry {
-		scope = obs.NewScope(func() time.Duration { return time.Duration(s.Now()) },
-			obs.Options{TimelineCap: cfg.TimelineCap})
+		for i := range scopes {
+			scopes[i] = obs.NewScope(func() time.Duration { return time.Duration(s.Now()) },
+				obs.Options{TimelineCap: cfg.TimelineCap})
+		}
 	}
 
+	// All sessions share this one path: its downlink is the contended
+	// bottleneck queue the swarm (and any cross traffic) fights over.
 	path := buildPath(s, cfg, man, shift)
 	var gen *crosstraffic.Generator
 	if cfg.CrossTraffic > 0 {
@@ -412,28 +546,6 @@ func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64) T
 
 	impaired := cfg.Impairment != "" && cfg.Impairment != netem.ProfileClean
 	recovered := impaired || cfg.Failover
-
-	var clientCfg, serverCfg quic.Config
-	clientCfg.Obs = scope
-	serverCfg.Obs = scope
-	if cfg.CC == "bbr" {
-		serverCfg.Controller = cc.NewBBRLite()
-	}
-	if recovered {
-		// Survive outages instead of wedging: probe at a bounded cadence
-		// through blackouts, keep quiet-but-healthy connections alive, and
-		// tear down only after a long silence. The failover scenario uses a
-		// short idle timeout on the primary so origin death is detected
-		// within seconds.
-		clientCfg.IdleTimeout = 30 * time.Second
-		clientCfg.KeepAlive = true
-		clientCfg.PTOBackoffCap = 6
-		serverCfg.IdleTimeout = 60 * time.Second
-		serverCfg.PTOBackoffCap = 6
-		if cfg.Failover {
-			clientCfg.IdleTimeout = 2 * time.Second
-		}
-	}
 
 	if cfg.Failover {
 		// Primary path goes dark for good mid-stream; profile impairments
@@ -458,93 +570,213 @@ func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64) T
 		}
 	}
 
-	clientConn, serverConn := quic.NewPair(s, path, clientCfg, serverCfg)
-	if _, err := server.New(serverConn, man, httpsim.ServerOptions{}); err != nil {
-		panic(err)
-	}
-
-	alg, mode, beta := newAlgorithm(cfg.System)
-	alg = abr.Instrument(alg, scope)
 	v := video.MustLoad(cfg.Title)
 	if cfg.Segments > 0 && cfg.Segments < v.Segments {
 		v.Segments = cfg.Segments
 	}
-	pcfg := player.Config{
-		Algorithm:      alg,
-		Mode:           mode,
-		BufferSegments: cfg.BufferSegments,
-		Metric:         cfg.Metric,
-		BetaCandidates: beta,
-		Obs:            scope,
-	}
-	if recovered {
-		pcfg.Recovery = httpsim.Recovery{
-			RequestTimeout: 4 * time.Second,
-			Retry: httpsim.RetryPolicy{
-				MaxAttempts: 4,
-				BaseDelay:   250 * time.Millisecond,
-				MaxDelay:    4 * time.Second,
-				Jitter:      0.25,
-			},
+
+	// Assemble one full stack per session over the shared path. Session
+	// construction order is the determinism contract: a single-session
+	// swarm builds the world in exactly the sequence the classic path did.
+	players := make([]*player.Player, n)
+	running := n
+	var lastDone, busyAtLastDone sim.Time
+	for si := 0; si < n; si++ {
+		scope := scopes[si]
+		var clientCfg, serverCfg quic.Config
+		clientCfg.Obs = scope
+		serverCfg.Obs = scope
+		if cfg.CC == "bbr" {
+			serverCfg.Controller = cc.NewBBRLite() // controllers hold per-conn state
 		}
-	}
-	if cfg.Failover {
-		// Second origin on its own path (same shaping and, if set, the same
-		// impairment profile with independent fault schedules — the backup
-		// origin still sits behind the client's last mile).
-		path2 := buildPath(s, cfg, man, shift)
-		if impaired {
-			if err := netem.ApplyProfile(path2, cfg.Impairment, seed+0x2000); err != nil {
-				panic(err)
+		if recovered {
+			// Survive outages instead of wedging: probe at a bounded cadence
+			// through blackouts, keep quiet-but-healthy connections alive, and
+			// tear down only after a long silence. The failover scenario uses a
+			// short idle timeout on the primary so origin death is detected
+			// within seconds.
+			clientCfg.IdleTimeout = 30 * time.Second
+			clientCfg.KeepAlive = true
+			clientCfg.PTOBackoffCap = 6
+			serverCfg.IdleTimeout = 60 * time.Second
+			serverCfg.PTOBackoffCap = 6
+			if cfg.Failover {
+				clientCfg.IdleTimeout = 2 * time.Second
 			}
 		}
-		c2cfg := clientCfg
-		c2cfg.IdleTimeout = 30 * time.Second
-		s2cfg := serverCfg
-		if cfg.CC == "bbr" {
-			s2cfg.Controller = cc.NewBBRLite() // controllers hold per-conn state
-		}
-		clientConn2, serverConn2 := quic.NewPair(s, path2, c2cfg, s2cfg)
-		if _, err := server.New(serverConn2, man, httpsim.ServerOptions{}); err != nil {
+
+		clientConn, serverConn := quic.NewPair(s, path, clientCfg, serverCfg)
+		if _, err := server.New(serverConn, man, httpsim.ServerOptions{}); err != nil {
 			panic(err)
 		}
-		pcfg.FailoverConns = []*quic.Conn{clientConn2}
+
+		alg, mode, beta := newAlgorithm(cfg.System)
+		alg = abr.Instrument(alg, scope)
+		pcfg := player.Config{
+			Algorithm:      alg,
+			Mode:           mode,
+			BufferSegments: cfg.BufferSegments,
+			Metric:         cfg.Metric,
+			BetaCandidates: beta,
+			Obs:            scope,
+		}
+		if recovered {
+			pcfg.Recovery = httpsim.Recovery{
+				RequestTimeout: 4 * time.Second,
+				Retry: httpsim.RetryPolicy{
+					MaxAttempts: 4,
+					BaseDelay:   250 * time.Millisecond,
+					MaxDelay:    4 * time.Second,
+					Jitter:      0.25,
+				},
+			}
+		}
+		if cfg.Failover {
+			// Second origin on its own path (same shaping and, if set, the
+			// same impairment profile with independent fault schedules — the
+			// backup origin still sits behind the client's last mile). Each
+			// swarm session gets its own backup origin.
+			path2 := buildPath(s, cfg, man, shift)
+			if impaired {
+				if err := netem.ApplyProfile(path2, cfg.Impairment, seed+0x2000+int64(si)*0x9E37); err != nil {
+					panic(err)
+				}
+			}
+			c2cfg := clientCfg
+			c2cfg.IdleTimeout = 30 * time.Second
+			s2cfg := serverCfg
+			if cfg.CC == "bbr" {
+				s2cfg.Controller = cc.NewBBRLite()
+			}
+			clientConn2, serverConn2 := quic.NewPair(s, path2, c2cfg, s2cfg)
+			if _, err := server.New(serverConn2, man, httpsim.ServerOptions{}); err != nil {
+				panic(err)
+			}
+			pcfg.FailoverConns = []*quic.Conn{clientConn2}
+		}
+		pl := player.New(s, clientConn, v, man, pcfg)
+		pl.Run(func() {
+			// Snapshot the bottleneck's busy time whenever a session drains
+			// its buffer; the last snapshot bounds the utilization window so
+			// post-playback cross traffic doesn't dilute the figure.
+			running--
+			lastDone = s.Now()
+			busyAtLastDone = path.Down.Stats().BusyTime
+		})
+		players[si] = pl
 	}
-	pl := player.New(s, clientConn, v, man, pcfg)
-	pl.Run(nil)
 
 	limit := cfg.MaxSimTime
 	if limit == 0 {
 		limit = 20 * man.Duration()
 	}
-	s.RunUntil(limit)
+	if cfg.Interrupt == nil {
+		s.RunUntil(limit)
+	} else {
+		// Same event execution as one RunUntil(limit), sliced so a close of
+		// the Interrupt channel aborts the trial mid-flight instead of only
+		// between trials.
+		aborted := false
+		for s.Now() < limit && !aborted && s.Pending() > 0 {
+			next := s.Now() + interruptCheckpoint
+			if next > limit {
+				next = limit
+			}
+			s.RunUntil(next)
+			select {
+			case <-cfg.Interrupt:
+				aborted = true
+			default:
+			}
+		}
+		if !aborted && s.Now() < limit {
+			s.RunUntil(limit) // queue drained early: fast-forward the clock
+		}
+	}
 	if gen != nil {
 		gen.Stop()
 	}
+	if running > 0 {
+		// Some session never finished (safety limit or interrupt): the
+		// utilization window extends to wherever the run stopped.
+		lastDone = s.Now()
+		busyAtLastDone = path.Down.Stats().BusyTime
+	}
 
-	res := pl.Results()
-	tr := Trial{
-		BufRatio:     res.BufRatio(),
-		AvgBitrate:   res.AvgBitrate(),
-		MeanScore:    res.MeanScore(),
-		Scores:       res.Scores(),
-		Skipped:      res.SkippedFraction(),
-		Residual:     res.ResidualLossFraction(),
-		Wasted:       res.BytesWasted,
-		StartupDelay: res.StartupDelay,
-		Completed:    pl.Done(),
-		FailedReqs:   res.FailedRequests,
-		Obs:          scope.TrialReport(),
-	}
-	if !pl.Done() {
-		// The run hit the safety limit: treat all remaining media time as
-		// stall so wedged configurations show up as terrible, not absent.
-		played := time.Duration(len(res.Segments)) * man.SegmentDuration
-		missing := man.Duration() - played
-		if missing > 0 {
-			tr.BufRatio = (res.StallTime + missing).Seconds() / man.Duration().Seconds()
+	sessions := make([]SessionResult, n)
+	for si, pl := range players {
+		res := pl.Results()
+		sr := SessionResult{
+			Session:      si,
+			BufRatio:     res.BufRatio(),
+			AvgBitrate:   res.AvgBitrate(),
+			MeanScore:    res.MeanScore(),
+			Scores:       res.Scores(),
+			Skipped:      res.SkippedFraction(),
+			Residual:     res.ResidualLossFraction(),
+			Wasted:       res.BytesWasted,
+			StartupDelay: res.StartupDelay,
+			StallTime:    res.StallTime,
+			Completed:    pl.Done(),
+			FailedReqs:   res.FailedRequests,
 		}
+		if !pl.Done() {
+			// The run hit the safety limit: treat all remaining media time as
+			// stall so wedged configurations show up as terrible, not absent.
+			played := time.Duration(len(res.Segments)) * man.SegmentDuration
+			missing := man.Duration() - played
+			if missing > 0 {
+				sr.BufRatio = (res.StallTime + missing).Seconds() / man.Duration().Seconds()
+			}
+		}
+		sessions[si] = sr
 	}
+	tr := foldSessions(sessions)
+	if lastDone > 0 {
+		tr.Utilization = float64(busyAtLastDone) / float64(lastDone)
+	}
+	if cfg.Telemetry {
+		tr.SessionObs = make([]*obs.TrialReport, n)
+		for si, scope := range scopes {
+			rep := scope.TrialReport()
+			rep.Session = si
+			tr.SessionObs[si] = rep
+		}
+		tr.Obs = tr.SessionObs[0]
+	}
+	return tr
+}
+
+// foldSessions collapses the per-session results into the trial-level
+// scalars: means for the ratio/rate fields, sums for byte and failure
+// counters, concatenated scores. For one session the fold is the identity,
+// which is what keeps Sessions=1 bit-identical to the classic path.
+func foldSessions(sessions []SessionResult) Trial {
+	tr := Trial{Sessions: sessions, Completed: true}
+	var bitrates []float64
+	var startup time.Duration
+	for _, sr := range sessions {
+		tr.BufRatio += sr.BufRatio
+		tr.AvgBitrate += sr.AvgBitrate
+		tr.Skipped += sr.Skipped
+		tr.Residual += sr.Residual
+		tr.Wasted += sr.Wasted
+		tr.FailedReqs += sr.FailedReqs
+		tr.Scores = append(tr.Scores, sr.Scores...)
+		startup += sr.StartupDelay
+		if !sr.Completed {
+			tr.Completed = false
+		}
+		bitrates = append(bitrates, sr.AvgBitrate)
+	}
+	inv := 1 / float64(len(sessions))
+	tr.BufRatio *= inv
+	tr.AvgBitrate *= inv
+	tr.Skipped *= inv
+	tr.Residual *= inv
+	tr.StartupDelay = time.Duration(float64(startup) * inv)
+	tr.MeanScore = stats.Mean(tr.Scores)
+	tr.Jain = stats.JainIndex(bitrates)
 	return tr
 }
 

@@ -1,0 +1,171 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"voxel/internal/trace"
+)
+
+// swarmCfg is the determinism bed for swarm mode: several sessions
+// contending for a varying cellular trace across multiple trials.
+func swarmCfg() Config {
+	return Config{
+		Title:          "BBB",
+		System:         SysVoxel,
+		BufferSegments: 3,
+		Trace:          trace.TMobile(),
+		Trials:         3,
+		Segments:       6,
+		Seed:           7,
+		Sessions:       4,
+	}
+}
+
+// Swarm trials must be bit-identical at any parallelism, down to the
+// per-session result vectors, the fairness index, and the exported
+// telemetry bytes.
+func TestSwarmParallelismInvariant(t *testing.T) {
+	render := func(par int) (*Aggregate, string, string) {
+		cfg := swarmCfg()
+		cfg.Parallelism = par
+		cfg.Telemetry = true
+		agg := Run(cfg)
+		var j, c bytes.Buffer
+		if err := agg.Obs.WriteJSONL(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := agg.Obs.WriteCSV(&c); err != nil {
+			t.Fatal(err)
+		}
+		return agg, j.String(), c.String()
+	}
+	a, j1, c1 := render(1)
+	b, j4, c4 := render(4)
+	if !reflect.DeepEqual(a.Trials, b.Trials) {
+		t.Fatal("swarm trials differ between sequential and parallel runs")
+	}
+	for i := range a.Trials {
+		if !reflect.DeepEqual(a.Trials[i].Sessions, b.Trials[i].Sessions) {
+			t.Fatalf("trial %d: per-session results differ across parallelism", i)
+		}
+		if a.Trials[i].Jain != b.Trials[i].Jain ||
+			a.Trials[i].Utilization != b.Trials[i].Utilization {
+			t.Fatalf("trial %d: fairness/utilization differ across parallelism", i)
+		}
+	}
+	if j1 != j4 || c1 != c4 {
+		t.Fatal("swarm telemetry exports differ between sequential and parallel runs")
+	}
+	if len(j1) == 0 {
+		t.Fatal("empty swarm timeline")
+	}
+}
+
+// Sessions=1 must take the exact same path as the pre-swarm harness:
+// Sessions=0 (the classic default) and Sessions=1 are bit-identical.
+func TestSwarmSingleSessionEquivalence(t *testing.T) {
+	zero := swarmCfg()
+	zero.Sessions = 0
+	one := swarmCfg()
+	one.Sessions = 1
+	a := Run(zero)
+	b := Run(one)
+	if !reflect.DeepEqual(a.Trials, b.Trials) {
+		t.Fatalf("Sessions=1 diverged from the single-session path:\n%+v\nvs\n%+v",
+			a.Trials, b.Trials)
+	}
+}
+
+// Shape and invariants of the swarm accounting: one SessionResult per
+// session in index order, folded scalars consistent with the per-session
+// values, Jain within [1/n, 1], utilization within (0, 1].
+func TestSwarmAccounting(t *testing.T) {
+	cfg := swarmCfg()
+	agg := Run(cfg)
+	for ti, tr := range agg.Trials {
+		if len(tr.Sessions) != cfg.Sessions {
+			t.Fatalf("trial %d: %d session results, want %d", ti, len(tr.Sessions), cfg.Sessions)
+		}
+		var scores int
+		var rates []float64
+		for si, sr := range tr.Sessions {
+			if sr.Session != si {
+				t.Fatalf("trial %d: session index %d recorded as %d", ti, si, sr.Session)
+			}
+			scores += len(sr.Scores)
+			rates = append(rates, sr.AvgBitrate)
+			if sr.AvgBitrate <= 0 {
+				t.Fatalf("trial %d session %d: no bitrate delivered", ti, si)
+			}
+		}
+		if len(tr.Scores) != scores {
+			t.Fatalf("trial %d: folded Scores has %d entries, sessions hold %d",
+				ti, len(tr.Scores), scores)
+		}
+		if tr.Jain < 1/float64(cfg.Sessions)-1e-12 || tr.Jain > 1+1e-12 || math.IsNaN(tr.Jain) {
+			t.Fatalf("trial %d: Jain index %v outside [1/n, 1]", ti, tr.Jain)
+		}
+		if tr.Utilization <= 0 || tr.Utilization > 1 {
+			t.Fatalf("trial %d: utilization %v outside (0, 1]", ti, tr.Utilization)
+		}
+	}
+	if p5 := agg.SessionQoEP5(); p5 <= 0 || p5 > 1 {
+		t.Fatalf("SessionQoEP5 = %v, want a plausible SSIM", p5)
+	}
+	if n := len(agg.SessionBitrates()); n != cfg.Trials*cfg.Sessions {
+		t.Fatalf("SessionBitrates has %d entries, want %d", n, cfg.Trials*cfg.Sessions)
+	}
+}
+
+// The Sessions axis is validated like every other config field.
+func TestSessionsValidate(t *testing.T) {
+	for _, n := range []int{-1, MaxSessions + 1} {
+		cfg := swarmCfg()
+		cfg.Sessions = n
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Sessions=%d passed validation", n)
+		}
+	}
+	ok := swarmCfg()
+	ok.Sessions = MaxSessions
+	if err := ok.Validate(); err != nil {
+		t.Errorf("Sessions=MaxSessions rejected: %v", err)
+	}
+}
+
+// Closing Interrupt must abort a trial mid-flight, not just between trials.
+// The configuration below is unfinishable in reasonable wall time: cross
+// traffic keeps the event queue busy for 200 virtual hours, so a
+// between-trials-only check would churn through billions of events before
+// returning. The checkpointed loop has to notice the close within one
+// virtual second and return almost immediately.
+func TestInterruptAbortsMidTrial(t *testing.T) {
+	cfg := Config{
+		Title:          "BBB",
+		System:         SysVoxel,
+		BufferSegments: 3,
+		Trials:         1,
+		Segments:       4,
+		Seed:           3,
+		CrossTraffic:   5e6,
+		LinkCapacity:   20e6,
+		MaxSimTime:     200 * time.Hour,
+	}
+	ch := make(chan struct{})
+	cfg.Interrupt = ch
+	done := make(chan *Aggregate, 1)
+	go func() { done <- Run(cfg) }()
+	time.AfterFunc(100*time.Millisecond, func() { close(ch) })
+	select {
+	case agg := <-done:
+		if len(agg.Trials) != 1 {
+			t.Fatalf("%d trials, want 1", len(agg.Trials))
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run did not abort mid-trial: Interrupt is only honored between trials")
+	}
+}

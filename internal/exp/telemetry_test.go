@@ -44,6 +44,7 @@ func TestTelemetryPreservesResults(t *testing.T) {
 	copy(stripped, a.Trials)
 	for i := range stripped {
 		stripped[i].Obs = nil
+		stripped[i].SessionObs = nil
 	}
 	if !reflect.DeepEqual(stripped, b.Trials) {
 		t.Fatalf("telemetry perturbed the trial results:\n%+v\nvs\n%+v", stripped, b.Trials)

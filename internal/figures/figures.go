@@ -185,6 +185,7 @@ func All() []Generator {
 		{"RetxResidual", "Selective-retransmission residual loss (§4.2)", SelectiveRetx},
 		{"RefShares", "Referenced frames among drops (§3)", ReferencedShares},
 		{"FigChaos", "QoE under impairment profiles + failover (robustness ext.)", FigChaos},
+		{"FigSwarm", "Shared-bottleneck swarm: fairness and utilization vs N", FigSwarm},
 		{"FigTimeline", "Per-trial playback timeline from obs telemetry", FigTimeline},
 	}
 }

@@ -8,9 +8,12 @@ import (
 	"time"
 )
 
-// TrialReport is the exportable snapshot of one trial's scope.
+// TrialReport is the exportable snapshot of one trial's scope. In swarm
+// runs each concurrent session records into its own scope, so one trial
+// yields one TrialReport per session, distinguished by Session.
 type TrialReport struct {
 	Trial    int // trial index within the cell; stamped by the harness
+	Session  int // session index within the trial; 0 outside swarm mode
 	Counters [NumCounters]uint64
 	Gauges   [NumGauges]int64
 	Hists    [NumHists]HistSnapshot
@@ -34,15 +37,31 @@ type Report struct {
 // skipped, so the result is deterministic for a given configuration
 // regardless of worker scheduling.
 func Merge(trials []*TrialReport) *Report {
-	rep := &Report{}
+	cells := make([][]*TrialReport, len(trials))
 	for i, t := range trials {
-		if t == nil {
-			continue
-		}
-		t.Trial = i
-		rep.Trials = append(rep.Trials, t)
-		for c := Counter(0); c < NumCounters; c++ {
-			rep.Totals[c] += t.Counters[c]
+		cells[i] = []*TrialReport{t}
+	}
+	return MergeSessions(cells)
+}
+
+// MergeSessions builds a cell-level report from per-trial, per-session
+// reports (swarm mode: trials[ti][si] is trial ti's session si), stamping
+// each report with both indices. Reports land in (trial, session) order, so
+// the export is deterministic regardless of worker scheduling. Nil entries
+// are skipped.
+func MergeSessions(trials [][]*TrialReport) *Report {
+	rep := &Report{}
+	for ti, sessions := range trials {
+		for si, t := range sessions {
+			if t == nil {
+				continue
+			}
+			t.Trial = ti
+			t.Session = si
+			rep.Trials = append(rep.Trials, t)
+			for c := Counter(0); c < NumCounters; c++ {
+				rep.Totals[c] += t.Counters[c]
+			}
 		}
 	}
 	return rep
@@ -75,7 +94,7 @@ func (r *Report) HistMerged(h Hist) HistSnapshot {
 
 // WriteJSONL writes every trial's timeline as one JSON object per line:
 //
-//	{"trial":0,"seq":12,"t_ms":1533.250,"kind":"segment_chosen","a":3,"b":9,"c":182000,"x":0.9871}
+//	{"trial":0,"session":0,"seq":12,"t_ms":1533.250,"kind":"segment_chosen","a":3,"b":9,"c":182000,"x":0.9871}
 //
 // Field order and number formatting are fixed, so identical reports produce
 // identical bytes. The encoding is hand-rolled (strconv only): every field
@@ -87,7 +106,7 @@ func (r *Report) WriteJSONL(w io.Writer) error {
 	var b []byte
 	for _, t := range r.Trials {
 		for _, ev := range t.Events {
-			b = appendEventJSON(b[:0], t.Trial, ev)
+			b = appendEventJSON(b[:0], t.Trial, t.Session, ev)
 			if _, err := w.Write(b); err != nil {
 				return err
 			}
@@ -96,9 +115,11 @@ func (r *Report) WriteJSONL(w io.Writer) error {
 	return nil
 }
 
-func appendEventJSON(b []byte, trial int, ev Event) []byte {
+func appendEventJSON(b []byte, trial, session int, ev Event) []byte {
 	b = append(b, `{"trial":`...)
 	b = strconv.AppendInt(b, int64(trial), 10)
+	b = append(b, `,"session":`...)
+	b = strconv.AppendInt(b, int64(session), 10)
 	b = append(b, `,"seq":`...)
 	b = strconv.AppendUint(b, ev.Seq, 10)
 	b = append(b, `,"t_ms":`...)
@@ -118,14 +139,14 @@ func appendEventJSON(b []byte, trial int, ev Event) []byte {
 }
 
 // WriteCSV writes the per-trial counters in wide format: a header row of
-// counter names, one row per trial, and a final "total" row. Column order
-// follows the Counter enum, so output is deterministic.
+// counter names, one row per (trial, session) report, and a final "total"
+// row. Column order follows the Counter enum, so output is deterministic.
 func (r *Report) WriteCSV(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
 	var sb strings.Builder
-	sb.WriteString("trial")
+	sb.WriteString("trial,session")
 	for c := Counter(0); c < NumCounters; c++ {
 		sb.WriteByte(',')
 		sb.WriteString(c.String())
@@ -140,9 +161,9 @@ func (r *Report) WriteCSV(w io.Writer) error {
 		sb.WriteByte('\n')
 	}
 	for _, t := range r.Trials {
-		row(strconv.Itoa(t.Trial), &t.Counters)
+		row(strconv.Itoa(t.Trial)+","+strconv.Itoa(t.Session), &t.Counters)
 	}
-	row("total", &r.Totals)
+	row("total,-", &r.Totals)
 	_, err := io.WriteString(w, sb.String())
 	return err
 }

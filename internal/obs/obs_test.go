@@ -251,17 +251,68 @@ func TestCSVShapeAndTotals(t *testing.T) {
 	if len(rows) != 4 { // header + 2 trials + total
 		t.Fatalf("got %d rows, want 4:\n%s", len(rows), buf.String())
 	}
-	wantCols := 1 + int(NumCounters)
+	wantCols := 2 + int(NumCounters)
 	for i, row := range rows {
 		if got := len(strings.Split(row, ",")); got != wantCols {
 			t.Fatalf("row %d has %d columns, want %d", i, got, wantCols)
 		}
 	}
-	if !strings.HasPrefix(rows[0], "trial,packets_sent,") {
+	if !strings.HasPrefix(rows[0], "trial,session,packets_sent,") {
 		t.Fatalf("unexpected header: %s", rows[0])
 	}
-	if !strings.HasPrefix(rows[3], "total,") {
+	if !strings.HasPrefix(rows[3], "total,-,") {
 		t.Fatalf("last row should be total: %s", rows[3])
+	}
+}
+
+// MergeSessions stamps both indices in (trial, session) order, skips nil
+// cells, and surfaces the session dimension in the JSONL export.
+func TestMergeSessionsStamping(t *testing.T) {
+	mk := func() *TrialReport {
+		s := NewScope(nil, Options{TimelineCap: 4})
+		s.Inc(CSegments)
+		s.Event(EvStartup, 0, 0, 0)
+		return s.TrialReport()
+	}
+	rep := MergeSessions([][]*TrialReport{
+		{mk(), mk()},
+		{mk(), nil, mk()},
+	})
+	want := [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 2}}
+	if len(rep.Trials) != len(want) {
+		t.Fatalf("%d reports, want %d", len(rep.Trials), len(want))
+	}
+	for i, tr := range rep.Trials {
+		if tr.Trial != want[i][0] || tr.Session != want[i][1] {
+			t.Fatalf("report %d stamped (%d,%d), want (%d,%d)",
+				i, tr.Trial, tr.Session, want[i][0], want[i][1])
+		}
+	}
+	if rep.Counter(CSegments) != 4 {
+		t.Fatalf("totals fold %d segments, want 4", rep.Counter(CSegments))
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	i := 0
+	for sc.Scan() {
+		var rec struct {
+			Trial   int `json:"trial"`
+			Session int `json:"session"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", i, err)
+		}
+		if rec.Trial != want[i][0] || rec.Session != want[i][1] {
+			t.Fatalf("line %d carries (%d,%d), want (%d,%d)",
+				i, rec.Trial, rec.Session, want[i][0], want[i][1])
+		}
+		i++
+	}
+	if i != len(want) {
+		t.Fatalf("%d JSONL lines, want %d", i, len(want))
 	}
 }
 

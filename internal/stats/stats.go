@@ -47,18 +47,37 @@ func StdErr(xs []float64) float64 {
 
 // Percentile returns the p-th percentile (0..100) of xs using linear
 // interpolation between closest ranks. It copies xs; the input is not
-// modified.
+// modified. NaN samples are ignored (a NaN would otherwise poison the sort
+// order and the interpolation); p outside [0, 100] clamps to the extremes,
+// and a NaN p returns NaN.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
+	cp := sortedClean(xs)
+	if len(cp) == 0 {
 		return 0
 	}
-	cp := make([]float64, len(xs))
-	copy(cp, xs)
-	sort.Float64s(cp)
 	return percentileSorted(cp, p)
 }
 
+// sortedClean returns a sorted copy of xs with NaN samples dropped.
+func sortedClean(xs []float64) []float64 {
+	cp := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			cp = append(cp, x)
+		}
+	}
+	sort.Float64s(cp)
+	return cp
+}
+
+// percentileSorted interpolates the p-th percentile of a sorted non-empty
+// NaN-free sample. p <= 0 and p >= 100 clamp to the extremes; a NaN p has
+// no defined rank, so it propagates as NaN instead of indexing with the
+// garbage int(NaN) conversion.
 func percentileSorted(sorted []float64, p float64) float64 {
+	if math.IsNaN(p) {
+		return math.NaN()
+	}
 	if p <= 0 {
 		return sorted[0]
 	}
@@ -73,6 +92,27 @@ func percentileSorted(sorted []float64, p float64) float64 {
 	}
 	frac := rank - float64(lo)
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// JainIndex computes Jain's fairness index (Σx)² / (n·Σx²) over xs — 1.0
+// when every element is equal (a perfectly fair split), approaching 1/n
+// when one element dominates. Degenerate inputs (empty, all-zero) return 1:
+// nothing is being shared unfairly. NaN samples are ignored.
+func JainIndex(xs []float64) float64 {
+	var sum, sumSq float64
+	n := 0
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		sum += x
+		sumSq += x * x
+		n++
+	}
+	if n == 0 || sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(n) * sumSq)
 }
 
 // Min returns the minimum of xs, or 0 for an empty slice.
@@ -119,14 +159,12 @@ type Summary struct {
 	Max    float64
 }
 
-// Summarize computes a Summary of xs.
+// Summarize computes a Summary of xs (NaN samples ignored).
 func Summarize(xs []float64) Summary {
-	if len(xs) == 0 {
+	cp := sortedClean(xs)
+	if len(cp) == 0 {
 		return Summary{}
 	}
-	cp := make([]float64, len(xs))
-	copy(cp, xs)
-	sort.Float64s(cp)
 	return Summary{
 		N:      len(cp),
 		Mean:   Mean(cp),
@@ -153,12 +191,10 @@ type CDF struct {
 	sorted []float64
 }
 
-// NewCDF builds an empirical CDF from xs (copied and sorted).
+// NewCDF builds an empirical CDF from xs (copied and sorted; NaN samples
+// are dropped — they have no place on a distribution axis).
 func NewCDF(xs []float64) CDF {
-	cp := make([]float64, len(xs))
-	copy(cp, xs)
-	sort.Float64s(cp)
-	return CDF{sorted: cp}
+	return CDF{sorted: sortedClean(xs)}
 }
 
 // At returns P(X <= x).

@@ -50,6 +50,98 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// Boundary behavior pinned by table: out-of-range p clamps, a single
+// element is every percentile, NaN samples are ignored, and a NaN p
+// propagates instead of indexing with the garbage int(NaN) conversion.
+func TestPercentileBoundaries(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64 // NaN means "want NaN"
+	}{
+		{"p below zero clamps to min", []float64{3, 1, 2}, -100, 1},
+		{"p zero is min", []float64{3, 1, 2}, 0, 1},
+		{"p hundred is max", []float64{3, 1, 2}, 100, 3},
+		{"p above hundred clamps to max", []float64{3, 1, 2}, 1e9, 3},
+		{"single element any p", []float64{7}, 33.3, 7},
+		{"single element p0", []float64{7}, 0, 7},
+		{"single element p100", []float64{7}, 100, 7},
+		{"NaN samples ignored", []float64{nan, 1, nan, 3}, 50, 2},
+		{"all-NaN sample is empty", []float64{nan, nan}, 50, 0},
+		{"NaN p propagates", []float64{1, 2, 3}, nan, nan},
+	}
+	for _, c := range cases {
+		got := Percentile(c.xs, c.p)
+		if math.IsNaN(c.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: got %v, want NaN", c.name, got)
+			}
+			continue
+		}
+		if !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("%s: Percentile(%v, %v) = %v, want %v", c.name, c.xs, c.p, got, c.want)
+		}
+	}
+}
+
+func TestQuantileBoundaries(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	cases := []struct{ q, want float64 }{
+		{-1, 1}, {0, 1}, {1, 4}, {2, 4}, {0.5, 2.5},
+	}
+	for _, tc := range cases {
+		if got := c.Quantile(tc.q); !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := NewCDF(nil).Quantile(0.5); got != 0 {
+		t.Errorf("empty CDF Quantile = %v, want 0", got)
+	}
+	single := NewCDF([]float64{9})
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := single.Quantile(q); got != 9 {
+			t.Errorf("single-element Quantile(%v) = %v, want 9", q, got)
+		}
+	}
+	// NaN samples are dropped at construction, not sorted into the tail.
+	withNaN := NewCDF([]float64{math.NaN(), 2, math.NaN(), 4})
+	if withNaN.Len() != 2 {
+		t.Errorf("CDF kept NaN samples: len %d, want 2", withNaN.Len())
+	}
+	if got := withNaN.Quantile(1); got != 4 {
+		t.Errorf("NaN-cleaned Quantile(1) = %v, want 4", got)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty is fair", nil, 1},
+		{"all zero is fair", []float64{0, 0, 0}, 1},
+		{"equal split", []float64{5, 5, 5, 5}, 1},
+		{"single element", []float64{3}, 1},
+		{"one starves rest", []float64{10, 0, 0, 0}, 0.25},
+		{"classic 4:1", []float64{4, 1}, 25.0 / 34.0},
+		{"NaN ignored", []float64{math.NaN(), 2, 2}, 1},
+	}
+	for _, c := range cases {
+		if got := JainIndex(c.xs); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("%s: JainIndex(%v) = %v, want %v", c.name, c.xs, got, c.want)
+		}
+	}
+	// Bounds: 1/n <= J <= 1 for any nonnegative sample.
+	xs := []float64{0.1, 7, 3, 0.5, 12, 1}
+	j := JainIndex(xs)
+	if j < 1.0/float64(len(xs)) || j > 1 {
+		t.Fatalf("JainIndex out of [1/n, 1]: %v", j)
+	}
+}
+
 func TestPercentileDoesNotMutate(t *testing.T) {
 	xs := []float64{5, 1, 3}
 	Percentile(xs, 50)

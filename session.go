@@ -125,6 +125,16 @@ func WithParallelism(n int) Option {
 	return func(s *Session) { s.cfg.Parallelism = n }
 }
 
+// WithSessions runs n concurrent video sessions per trial (swarm mode),
+// each a full independent client/server stack, all multiplexed through one
+// shared bottleneck path. 0 and 1 both run a single session. Per-session
+// results land in Trial.Sessions together with the trial's Jain fairness
+// index and bottleneck utilization; n outside [0, exp.MaxSessions] fails
+// Run with ErrInvalidConfig.
+func WithSessions(n int) Option {
+	return func(s *Session) { s.cfg.Sessions = n }
+}
+
 // WithCrossTraffic streams through a fixed-capacity link (bps) against the
 // given offered competing load (bps) instead of a trace.
 func WithCrossTraffic(offered, linkCapacity float64) Option {

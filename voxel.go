@@ -38,6 +38,9 @@ type (
 	Aggregate = exp.Aggregate
 	// Trial is one playback run's summary within an Aggregate.
 	Trial = exp.Trial
+	// SessionResult is one session's summary within a swarm-mode Trial
+	// (see WithSessions).
+	SessionResult = exp.SessionResult
 	// Clip is the clip-statistics input to RunSurvey.
 	Clip = survey.Clip
 	// Outcome is the user-study result RunSurvey returns.
