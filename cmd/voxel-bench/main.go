@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"voxel/internal/figures"
+	"voxel/internal/profiling"
 )
 
 func main() {
@@ -25,7 +26,20 @@ func main() {
 	only := flag.String("only", "", "comma-separated exhibit IDs (e.g. Fig6,Fig10)")
 	list := flag.Bool("list", false, "list exhibit IDs and exit")
 	out := flag.String("out", "", "also write the tables to this Markdown file (flushed after each exhibit)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "voxel-bench:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "voxel-bench: profile:", err)
+		}
+	}()
 
 	if *list {
 		for _, g := range figures.All() {

@@ -30,6 +30,10 @@ var targets = []target{
 	{Pkg: "voxel/internal/quic", Bench: "BenchmarkOnAck|BenchmarkDetectLoss|BenchmarkPacketEncode|BenchmarkBulkTransfer"},
 	{Pkg: "voxel/internal/qoe", Bench: "."},
 	{Pkg: "voxel/internal/sim", Bench: "."},
+	// The kernel suite runs wheel and heap subbenchmarks back to back; a
+	// fixed iteration count (not wall time) keeps the two sides and the
+	// before/after trajectory comparable across machines.
+	{Pkg: "voxel/internal/sim", Bench: "BenchmarkKernel|BenchmarkSwarmMacro", Time: "3000000x"},
 	{Pkg: "voxel", Bench: "BenchmarkFig6BufRatio", Time: "1x"},
 }
 
@@ -45,15 +49,18 @@ type result struct {
 }
 
 type report struct {
-	Generated  string   `json:"generated"`
-	GoVersion  string   `json:"go_version"`
-	GOOS       string   `json:"goos"`
-	GOARCH     string   `json:"goarch"`
-	Benchmarks []result `json:"benchmarks"`
+	Generated  string             `json:"generated"`
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	Benchmarks []result           `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived,omitempty"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_2.json", "output JSON path")
+	out := flag.String("out", "BENCH_7.json", "output JSON path")
+	benchtime := flag.String("benchtime", "",
+		"override -benchtime for every target (e.g. 100000x or 100ms); useful for CI smoke runs")
 	flag.Parse()
 
 	rep := report{
@@ -64,7 +71,10 @@ func main() {
 	}
 	for _, t := range targets {
 		args := []string{"test", "-run=NONE", "-bench=" + t.Bench, "-benchmem", t.Pkg}
-		if t.Time != "" {
+		switch {
+		case *benchtime != "":
+			args = append(args, "-benchtime="+*benchtime)
+		case t.Time != "":
 			args = append(args, "-benchtime="+t.Time)
 		}
 		cmd := exec.Command("go", args...)
@@ -81,6 +91,13 @@ func main() {
 		}
 	}
 
+	rep.Derived = deriveSpeedups(rep.Benchmarks)
+	for _, k := range []string{"swarm_macro_speedup", "churn_speedup", "rearm_storm_speedup"} {
+		if v, ok := rep.Derived[k]; ok {
+			fmt.Printf("voxel-perf: %s = %.2fx\n", k, v)
+		}
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "voxel-perf:", err)
@@ -92,6 +109,35 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("voxel-perf: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+// deriveSpeedups computes heap-vs-wheel ratios for the kernel benchmarks
+// that run both sides in one sweep, so the JSON carries the before/after
+// comparison directly. Ratios are ns/op(heap) / ns/op(wheel); >1 means the
+// wheel is faster. Duplicate names (e.g. the same bench at two benchtimes)
+// keep the last parsed line.
+func deriveSpeedups(results []result) map[string]float64 {
+	ns := map[string]float64{}
+	for _, r := range results {
+		ns[r.Name] = r.NsOp
+	}
+	pairs := map[string]string{
+		"swarm_macro_speedup": "BenchmarkSwarmMacro512",
+		"churn_speedup":       "BenchmarkKernelChurn",
+		"rearm_storm_speedup": "BenchmarkKernelRearmStorm",
+		"cancel_speedup":      "BenchmarkKernelCancel",
+	}
+	derived := map[string]float64{}
+	for key, base := range pairs {
+		wheel, heap := ns[base+"/wheel"], ns[base+"/heap"]
+		if wheel > 0 && heap > 0 {
+			derived[key] = heap / wheel
+		}
+	}
+	if len(derived) == 0 {
+		return nil
+	}
+	return derived
 }
 
 // parseBenchLine parses one `go test -bench` output line:

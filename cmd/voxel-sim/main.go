@@ -16,8 +16,13 @@ import (
 
 	"voxel"
 	"voxel/internal/exp"
+	"voxel/internal/profiling"
 	"voxel/internal/stats"
 )
+
+// stopProfiles flushes any active pprof collectors; fatal runs it so a
+// failed run still leaves usable profiles behind (os.Exit skips defers).
+var stopProfiles = func() {}
 
 func main() {
 	title := flag.String("title", "BBB", "video title")
@@ -45,7 +50,20 @@ func main() {
 		"write the telemetry timeline as JSONL to this file (- = stdout); implies -telemetry")
 	telemetryCSV := flag.String("telemetry-csv", "",
 		"write per-trial telemetry counters as CSV to this file (- = stdout); implies -telemetry")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = func() {
+		if err := stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "voxel-sim: profile:", err)
+		}
+	}
+	defer stopProfiles()
 
 	var metric voxel.Metric
 	switch *metricName {
@@ -219,6 +237,7 @@ func exportTelemetry(report *voxel.Report, jsonlPath, csvPath string) error {
 }
 
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "voxel-sim:", err)
 	os.Exit(1)
 }

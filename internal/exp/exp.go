@@ -676,8 +676,13 @@ func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64) T
 		// Same event execution as one RunUntil(limit), sliced so a close of
 		// the Interrupt channel aborts the trial mid-flight instead of only
 		// between trials.
+		// The !s.Halted() guard matters since RunUntil stopped advancing the
+		// clock on a halted simulator: without it a mid-trial Halt would pin
+		// Now below the next checkpoint and spin this loop forever. Nothing
+		// in exp calls Halt today, so behavior is unchanged — this is
+		// insurance for session code that might.
 		aborted := false
-		for s.Now() < limit && !aborted && s.Pending() > 0 {
+		for s.Now() < limit && !aborted && !s.Halted() && s.Pending() > 0 {
 			next := s.Now() + interruptCheckpoint
 			if next > limit {
 				next = limit
@@ -689,7 +694,7 @@ func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64) T
 			default:
 			}
 		}
-		if !aborted && s.Now() < limit {
+		if !aborted && !s.Halted() && s.Now() < limit {
 			s.RunUntil(limit) // queue drained early: fast-forward the clock
 		}
 	}

@@ -344,6 +344,151 @@ func TestPropertyCancelSubset(t *testing.T) {
 	}
 }
 
+// Regression: RunUntil used to advance now to the deadline even when Halt
+// fired mid-run. A halted sim must freeze time at the last executed event.
+func TestRunUntilHaltFreezesClock(t *testing.T) {
+	s := New(1)
+	s.Schedule(time.Millisecond, func() { s.Halt() })
+	s.Schedule(2*time.Millisecond, func() { t.Fatal("event after halt fired") })
+	s.RunUntil(10 * time.Millisecond)
+	if s.Now() != time.Millisecond {
+		t.Fatalf("now = %v after mid-run halt, want 1ms (frozen at halting event)", s.Now())
+	}
+	if !s.Halted() {
+		t.Fatal("Halted() = false after Halt")
+	}
+	// Repeated RunUntil on a halted sim stays frozen too.
+	s.RunUntil(20 * time.Millisecond)
+	if s.Now() != time.Millisecond {
+		t.Fatalf("now = %v after RunUntil on halted sim, want 1ms", s.Now())
+	}
+}
+
+func TestCanceledAndFiredAreDistinct(t *testing.T) {
+	s := New(1)
+	fired := s.Schedule(time.Millisecond, func() {})
+	canceled := s.Schedule(2*time.Millisecond, func() {})
+	s.Cancel(canceled)
+	s.Run()
+	if !fired.Fired() || fired.Canceled() {
+		t.Fatalf("fired event: Fired=%v Canceled=%v, want true,false", fired.Fired(), fired.Canceled())
+	}
+	if !canceled.Canceled() || canceled.Fired() {
+		t.Fatalf("canceled event: Canceled=%v Fired=%v, want true,false", canceled.Canceled(), canceled.Fired())
+	}
+	pending := s.Schedule(time.Millisecond, func() {})
+	if pending.Canceled() || pending.Fired() {
+		t.Fatal("pending event reports a terminal state")
+	}
+}
+
+// Regression: a handle to a fired event must stay inert — Cancel and
+// Reschedule on it are no-ops — so deadline holders can't accidentally
+// re-arm it before the scheduler recycles it.
+func TestUseAfterFireHandleIsInert(t *testing.T) {
+	s := New(1)
+	n := 0
+	e := s.Schedule(time.Millisecond, func() { n++ })
+	s.Run()
+	s.Reschedule(e, 5*time.Millisecond)
+	s.Cancel(e) // must not double-free the handle into the pool
+	s.Run()
+	if n != 1 {
+		t.Fatalf("fired %d times after use-after-fire Reschedule, want 1", n)
+	}
+	// The double-free guard matters: if Cancel had pushed e to the freelist
+	// again, two future schedules would receive the same handle.
+	a := s.Schedule(time.Millisecond, func() {})
+	bb := s.Schedule(time.Millisecond, func() {})
+	if a == bb {
+		t.Fatal("freelist corrupted: two live events share one handle")
+	}
+}
+
+// Regression: a Timer whose event fired must not cancel the recycled
+// handle's next owner when stopped. The wrapper drops the handle before
+// the callback runs, which this pins.
+func TestTimerStopAfterFireDoesNotKillRecycledEvent(t *testing.T) {
+	s := New(1)
+	tm := NewTimer(s, func() {})
+	tm.Arm(time.Millisecond)
+	s.Run()
+	if tm.Armed() {
+		t.Fatal("timer still armed after firing")
+	}
+	// This Schedule recycles the timer's Event off the freelist (LIFO).
+	hit := false
+	e2 := s.Schedule(time.Millisecond, func() { hit = true })
+	tm.Stop() // must not cancel e2
+	s.Run()
+	if !hit {
+		t.Fatalf("Timer.Stop canceled a recycled event it no longer owns (e2=%p)", e2)
+	}
+}
+
+// Lazy cancellation: Pending must count live events only, even though the
+// canceled entry's tombstone is still waiting in its wheel slot.
+func TestPendingExcludesLazilyCanceled(t *testing.T) {
+	s := New(1)
+	evs := make([]*Event, 10)
+	for i := range evs {
+		evs[i] = s.Schedule(Time(i+1)*time.Millisecond, func() {})
+	}
+	if s.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", s.Pending())
+	}
+	s.Cancel(evs[3])
+	s.Cancel(evs[7])
+	s.Cancel(evs[7]) // double cancel must not double-count
+	if s.Pending() != 8 {
+		t.Fatalf("Pending = %d after 2 cancels, want 8", s.Pending())
+	}
+	s.Run()
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain, want 0", s.Pending())
+	}
+	if s.Executed() != 8 {
+		t.Fatalf("Executed = %d, want 8", s.Executed())
+	}
+}
+
+// A canceled event's handle is recycled immediately; the orphaned wheel
+// entry must never fire the handle's new owner early.
+func TestCancelRecycleCannotFireEarly(t *testing.T) {
+	s := New(1)
+	e := s.Schedule(5*time.Millisecond, func() { t.Fatal("canceled event fired") })
+	s.Cancel(e)
+	var at Time
+	e2 := s.Schedule(9*time.Millisecond, func() { at = s.Now() })
+	if e2 != e {
+		t.Skip("freelist did not recycle the handle; aliasing path not exercised")
+	}
+	s.Run()
+	if at != 9*time.Millisecond {
+		t.Fatalf("recycled event fired at %v (via the orphaned 5ms entry?), want 9ms", at)
+	}
+}
+
+// Steady-state Schedule/Cancel/Reschedule must not allocate: events come
+// from the freelist and wheel buckets recycle their backing arrays.
+// AllocsPerRun truncates, so any o(1) amortized growth still reads 0.
+func TestKernelSteadyStateZeroAllocs(t *testing.T) {
+	s := New(1)
+	nop := func() {}
+	op := func() {
+		e := s.Schedule(3*time.Millisecond, nop)
+		s.Reschedule(e, s.Now()+7*time.Millisecond)
+		s.Cancel(e)
+		s.RunUntil(s.Now() + 100*time.Microsecond)
+	}
+	for i := 0; i < 5000; i++ { // warm pools, bucket and due capacities
+		op()
+	}
+	if avg := testing.AllocsPerRun(5000, op); avg != 0 {
+		t.Fatalf("steady-state schedule/reschedule/cancel allocates %v allocs/op, want 0", avg)
+	}
+}
+
 func BenchmarkScheduleRun(b *testing.B) {
 	s := New(1)
 	b.ReportAllocs()
