@@ -11,8 +11,10 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
+	"voxel/internal/exp"
 	"voxel/internal/figures"
 	"voxel/internal/profiling"
 )
@@ -95,6 +97,20 @@ func main() {
 		params.Trials, params.Segments, params.Quick, params.Parallelism,
 		time.Now().UTC().Format(time.RFC3339)))
 
+	// The figure generators consume Aggregates internally, so trial failures
+	// are collected through the exp.FailureHook side channel: every exhibit
+	// still renders from its surviving trials, and the failures print at the
+	// end with replay commands and a nonzero exit.
+	var (
+		failMu sync.Mutex
+		failed []exp.TrialError
+	)
+	exp.FailureHook = func(te *exp.TrialError) {
+		failMu.Lock()
+		failed = append(failed, *te)
+		failMu.Unlock()
+	}
+
 	start := time.Now()
 	for _, g := range selected {
 		t0 := time.Now()
@@ -113,6 +129,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "\nvoxel-bench: %d trial(s) FAILED during the sweeps:\n", len(failed))
+		for i := range failed {
+			te := &failed[i]
+			fmt.Fprintf(os.Stderr, "  trial %d (seed %d) at virtual %v: %s — %s\n",
+				te.Trial, te.Seed, te.Clock, te.Rule, te.Msg)
+			fmt.Fprintf(os.Stderr, "    replay: %s\n", te.ReplayCommand())
+		}
+		if err := stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "voxel-bench: profile:", err)
+		}
+		os.Exit(1)
 	}
 }
 

@@ -4,6 +4,10 @@
 // distribution, skipped data, and residual loss. With -telemetry it also
 // collects the per-trial obs timeline and counters, prints a summary, and
 // can export them as JSONL (-telemetry-out) and CSV (-telemetry-csv).
+//
+// With -repro it instead replays a JSON crash artifact (written by
+// voxel-fuzz) with invariants and watchdog armed, and exits 0 only if the
+// artifact's recorded violation reproduces.
 package main
 
 import (
@@ -15,8 +19,10 @@ import (
 	"strings"
 
 	"voxel"
+	"voxel/internal/chaos"
 	"voxel/internal/exp"
 	"voxel/internal/profiling"
+	"voxel/internal/repro"
 	"voxel/internal/stats"
 )
 
@@ -50,9 +56,36 @@ func main() {
 		"write the telemetry timeline as JSONL to this file (- = stdout); implies -telemetry")
 	telemetryCSV := flag.String("telemetry-csv", "",
 		"write per-trial telemetry counters as CSV to this file (- = stdout); implies -telemetry")
+	invariants := flag.Bool("invariants", false,
+		"arm the cross-layer invariant checker; a violation fails the trial with a replayable error")
+	inject := flag.String("inject", "",
+		"schedule a deliberate fault: panic, invariant, or spin, optionally @trial (tests the failure pipeline)")
+	reproPath := flag.String("repro", "",
+		"replay a JSON crash artifact with invariants+watchdog armed; exits 0 only if its violation reproduces (exclusive with sweep flags)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *reproPath != "" {
+		// -repro replays exactly what the artifact describes; any sweep flag
+		// alongside it would be silently ignored, so reject the combination.
+		var conflicts []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "repro", "cpuprofile", "memprofile":
+			default:
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			fatal(fmt.Errorf("-repro replays the artifact's own configuration; drop %s",
+				strings.Join(conflicts, ", ")))
+		}
+		os.Exit(runRepro(*reproPath))
+	}
+	if *sessions < 1 || *sessions > exp.MaxSessions {
+		fatal(fmt.Errorf("-sessions %d out of range [1, %d]", *sessions, exp.MaxSessions))
+	}
 
 	stop, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -101,6 +134,18 @@ func main() {
 		*telemetry = true
 		opts = append(opts, voxel.WithTelemetry())
 	}
+	if *invariants {
+		opts = append(opts, voxel.WithInvariants())
+	}
+	if *inject != "" {
+		opts = append(opts, voxel.WithInject(*inject))
+	}
+	if *invariants || *inject != "" {
+		// Hardened runs also get the trial watchdog, so a wedged trial (e.g.
+		// -inject spin's zero-delay event storm) fails with a replayable
+		// TrialError instead of hanging the process.
+		opts = append(opts, voxel.WithWatchdog(exp.DefaultWatchdogWall, exp.DefaultWatchdogEvents))
+	}
 	if *cross > 0 {
 		opts = append(opts, voxel.WithCrossTraffic(*cross*1e6, 20e6))
 		fmt.Printf("%s streaming %s against %.0f Mbps cross traffic (20 Mbps link), %d-segment buffer\n",
@@ -126,6 +171,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	reportFailures(agg)
 
 	fmt.Printf("\n%-26s %v\n", "trials:", len(agg.Trials))
 	fmt.Printf("%-26s %.2f%%\n", "bufRatio (p90):", 100*agg.BufRatioP90())
@@ -169,6 +215,64 @@ func main() {
 		if err := exportTelemetry(report, *telemetryOut, *telemetryCSV); err != nil {
 			fatal(err)
 		}
+	}
+	if len(agg.Failed) > 0 {
+		stopProfiles()
+		os.Exit(1)
+	}
+}
+
+// reportFailures prints every failed trial with its replay command. The
+// surviving trials' statistics still print below; main exits nonzero at
+// the end when anything failed.
+func reportFailures(agg *voxel.Aggregate) {
+	if len(agg.Failed) == 0 {
+		return
+	}
+	fmt.Printf("\n%d of %d trials FAILED:\n", len(agg.Failed), len(agg.Trials))
+	for i := range agg.Failed {
+		te := &agg.Failed[i]
+		fmt.Printf("  trial %d (seed %d) at virtual %v: %s\n    %s\n",
+			te.Trial, te.Seed, te.Clock, te.Rule, te.Msg)
+		if te.Stack != "" {
+			fmt.Printf("    stack:\n")
+			for _, line := range strings.Split(strings.TrimRight(te.Stack, "\n"), "\n") {
+				fmt.Printf("      %s\n", line)
+			}
+		}
+		fmt.Printf("    replay: %s\n", te.ReplayCommand())
+	}
+}
+
+// runRepro replays a crash artifact and returns the process exit code:
+// 0 when the recorded violation reproduces, 1 otherwise.
+func runRepro(path string) int {
+	a, err := repro.Load(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "voxel-sim:", err)
+		return 1
+	}
+	fmt.Printf("replaying %s: %s/%s trial %d seed %d", path, a.Title, a.System, a.Trial, a.Seed)
+	if a.Violation != "" {
+		fmt.Printf(" (expecting %s)", a.Violation)
+	}
+	fmt.Println()
+	ok, te, err := chaos.Reproduces(a)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "voxel-sim:", err)
+		return 1
+	}
+	switch {
+	case ok:
+		fmt.Printf("reproduced: %s — %s\n", te.Rule, te.Msg)
+		return 0
+	case te != nil:
+		fmt.Printf("failed with a DIFFERENT rule: %s — %s (artifact expects %s)\n",
+			te.Rule, te.Msg, a.Violation)
+		return 1
+	default:
+		fmt.Println("did not reproduce: every trial survived")
+		return 1
 	}
 }
 

@@ -14,9 +14,29 @@ import (
 
 func main() {
 	name := flag.String("name", "", "dump one trace (tmobile, verizon, att, 3g, fcc, wild)")
-	csv := flag.Bool("csv", false, "emit per-second samples as CSV (with -name)")
+	csv := flag.Bool("csv", false, "emit per-second samples as CSV (with -name or -load)")
+	load := flag.String("load", "", "load a trace from a second,mbps CSV file (the -csv format) instead of -name")
 	riiser := flag.Int("riiser", 0, "also summarize N Riiser 3G commute traces")
 	flag.Parse()
+
+	if *load != "" {
+		data, err := os.ReadFile(*load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "voxel-traces:", err)
+			os.Exit(1)
+		}
+		tr, err := trace.ParseCSV(*load, data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "voxel-traces:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			emitCSV(tr)
+			return
+		}
+		describe(tr)
+		return
+	}
 
 	if *name != "" {
 		tr, err := trace.ByName(*name)
@@ -25,10 +45,7 @@ func main() {
 			os.Exit(1)
 		}
 		if *csv {
-			fmt.Println("second,mbps")
-			for i, v := range tr.Samples() {
-				fmt.Printf("%d,%.3f\n", i, v/1e6)
-			}
+			emitCSV(tr)
 			return
 		}
 		describe(tr)
@@ -49,6 +66,14 @@ func main() {
 		s := stats.Summarize(means)
 		fmt.Printf("\nriiser-3g set (%d traces): mean of means %.2f Mbps, range %.2f–%.2f Mbps\n",
 			*riiser, s.Mean, s.Min, s.Max)
+	}
+}
+
+// emitCSV prints the trace in the second,mbps format ParseCSV reads back.
+func emitCSV(tr *trace.Trace) {
+	fmt.Println("second,mbps")
+	for i, v := range tr.Samples() {
+		fmt.Printf("%d,%.3f\n", i, v/1e6)
 	}
 }
 

@@ -1,0 +1,107 @@
+package chaos
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"voxel/internal/repro"
+)
+
+// The tuple generator is the campaign's determinism root: one seed, one
+// sequence of artifacts.
+func TestRandomArtifactDeterministic(t *testing.T) {
+	draw := func() []*repro.Artifact {
+		rng := rand.New(rand.NewSource(99))
+		out := make([]*repro.Artifact, 8)
+		for i := range out {
+			out[i] = RandomArtifact(rng)
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			t.Fatalf("tuple %d differs across identical seeds:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+	for _, art := range a {
+		if art.Title == "" || art.System == "" || art.Seed == 0 {
+			t.Fatalf("degenerate tuple: %+v", art)
+		}
+	}
+}
+
+// Shrinking an injected failure strips every riding dimension — failover,
+// impairment, swarm, the sweep, clip length, seed — because the deliberate
+// fault reproduces under all of them; and the whole walk is deterministic.
+func TestShrinkInjectedFailure(t *testing.T) {
+	big := &repro.Artifact{
+		Title:      "BBB",
+		System:     "VOXEL",
+		Trace:      "verizon",
+		Segments:   8,
+		Trials:     2,
+		Trial:      1,
+		Seed:       5,
+		Sessions:   2,
+		Impairment: "bursty",
+		Failover:   true,
+		Inject:     "invariant",
+		Violation:  "exp.injected-fault",
+	}
+	if ok, _, err := Reproduces(big); err != nil || !ok {
+		t.Fatalf("big artifact does not fail (ok=%v err=%v)", ok, err)
+	}
+	small := Shrink(big, nil)
+	if small.Failover || small.Impairment != "" || small.Sessions != 1 {
+		t.Fatalf("riding dimensions not stripped: %+v", small)
+	}
+	if small.Trials != 1 || small.Trial != 0 {
+		t.Fatalf("sweep not collapsed: %+v", small)
+	}
+	if small.Segments > 2 || small.Seed != 1 {
+		t.Fatalf("clip/seed not minimized: %+v", small)
+	}
+	if ok, te, err := Reproduces(small); err != nil || !ok {
+		t.Fatalf("shrunk artifact does not reproduce (ok=%v te=%v err=%v)", ok, te, err)
+	}
+	if again := Shrink(big, nil); !reflect.DeepEqual(small, again) {
+		t.Fatalf("shrink not deterministic:\n%+v\n%+v", small, again)
+	}
+}
+
+// The committed known-good artifact must keep reproducing its recorded
+// violation — this is the regression test for the whole artifact pipeline
+// (Load → ConfigFromArtifact → armed run → rule match).
+func TestCommittedArtifactReproduces(t *testing.T) {
+	a, err := repro.Load("../../testdata/repro/injected-invariant.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, te, err := Reproduces(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("committed artifact did not reproduce (got %+v)", te)
+	}
+	if te.Rule != a.Violation {
+		t.Fatalf("rule %q != recorded violation %q", te.Rule, a.Violation)
+	}
+}
+
+// A healthy artifact neither fails nor reports reproduction.
+func TestReproducesCleanArtifact(t *testing.T) {
+	a := &repro.Artifact{
+		Title: "BBB", System: "VOXEL", Trace: "verizon",
+		Segments: 4, Trials: 1, Seed: 1,
+	}
+	ok, te, err := Reproduces(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || te != nil {
+		t.Fatalf("clean artifact reported a failure: %+v", te)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"voxel/internal/crosstraffic"
 	"voxel/internal/dash"
 	"voxel/internal/httpsim"
+	"voxel/internal/invariant"
 	"voxel/internal/netem"
 	"voxel/internal/obs"
 	"voxel/internal/player"
@@ -117,6 +118,28 @@ type Config struct {
 	// Trial.Sessions along with the trial's Jain fairness index and
 	// bottleneck utilization.
 	Sessions int
+	// Invariants arms the cross-layer invariant checker (internal/invariant)
+	// inside every trial's world: QUIC* packet and byte conservation,
+	// reliable-stream contiguity, non-negative player buffer, monotone sim
+	// clock, exactly-one Datagram.Done fate. A violation fails that trial
+	// with a typed TrialError naming the broken rule; other trials keep
+	// running. Off by default, and a disabled checker costs nothing on the
+	// hot paths (nil receiver, one branch), so golden outputs are unchanged.
+	Invariants bool
+	// WatchdogWall bounds one trial's wall-clock runtime; a trial that
+	// exceeds it fails with rule "watchdog.wall-budget" instead of hanging
+	// the sweep. 0 means no wall budget.
+	WatchdogWall time.Duration
+	// WatchdogEvents bounds one trial's executed simulator events; a trial
+	// that exceeds it fails with rule "watchdog.event-budget". This is the
+	// budget that catches a zero-delay event storm, which burns events
+	// without ever advancing virtual time. 0 means no event budget.
+	WatchdogEvents uint64
+	// Inject schedules a deliberate fault inside the trial world — "panic",
+	// "invariant", or "spin", optionally suffixed "@trial" to target one
+	// trial index — to exercise the failure pipeline end to end. Used by
+	// tests and committed repro artifacts; empty in normal operation.
+	Inject string
 }
 
 // MaxSessions caps Config.Sessions: each session costs a full stack, and a
@@ -168,6 +191,9 @@ func (c Config) Validate() error {
 	}
 	if c.Sessions < 0 || c.Sessions > MaxSessions {
 		return fmt.Errorf("exp: sessions %d out of range [0, %d]", c.Sessions, MaxSessions)
+	}
+	if _, _, err := parseInject(c.Inject); err != nil {
+		return err
 	}
 	return nil
 }
@@ -244,6 +270,10 @@ type Trial struct {
 	// Config.Telemetry is off); SessionObs holds every session's report.
 	Obs        *obs.TrialReport
 	SessionObs []*obs.TrialReport
+	// Failed marks a trial that died (panic, invariant violation, watchdog
+	// budget) before producing results; the rest of the struct is zero and
+	// the TrialError lives in Aggregate.Failed.
+	Failed bool
 }
 
 // Aggregate collects trials of one configuration.
@@ -255,6 +285,11 @@ type Aggregate struct {
 	AllScores []float64
 	// Obs merges the per-trial telemetry (nil when Config.Telemetry is off).
 	Obs *obs.Report
+	// Failed collects the trials that died, in trial-index order. A failed
+	// trial keeps its (zero-valued, Failed-marked) Trial slot but contributes
+	// no samples to BufRatios/Bitrates/AllScores, so survivors' statistics
+	// are unpolluted.
+	Failed []TrialError
 }
 
 // BufRatioP90 returns the 90th percentile bufRatio across trials (the
@@ -408,6 +443,11 @@ func Run(cfg Config) *Aggregate {
 	return runConfigs([]Config{cfg}, cfg.workers())[0]
 }
 
+// TrialSeed derives trial j's world seed from the config seed. Exported so
+// the chaos shrinker can collapse a multi-trial failure to a single-trial
+// artifact that builds the exact same world.
+func TrialSeed(base int64, trial int) int64 { return base + int64(trial)*7919 }
+
 // job addresses one (config, trial) cell in a batch.
 type job struct{ cfg, trial int }
 
@@ -420,9 +460,11 @@ func runConfigs(cfgs []Config, workers int) []*Aggregate {
 		cfgs[i] = cfgs[i].withDefaults()
 	}
 	trials := make([][]Trial, len(cfgs))
+	fails := make([][]*TrialError, len(cfgs))
 	var jobs []job
 	for ci, c := range cfgs {
 		trials[ci] = make([]Trial, c.Trials)
+		fails[ci] = make([]*TrialError, c.Trials)
 		for ti := 0; ti < c.Trials; ti++ {
 			jobs = append(jobs, job{ci, ti})
 		}
@@ -448,7 +490,8 @@ func runConfigs(cfgs []Config, workers int) []*Aggregate {
 		if c.Trace != nil && c.Trials > 1 {
 			shift = c.Trace.Duration() * time.Duration(j.trial) / time.Duration(c.Trials)
 		}
-		trials[j.cfg][j.trial] = runTrial(c, man, shift, c.Seed+int64(j.trial)*7919)
+		trials[j.cfg][j.trial], fails[j.cfg][j.trial] =
+			runTrial(c, man, shift, TrialSeed(c.Seed, j.trial), j.trial)
 	}
 	if workers > len(jobs) {
 		workers = len(jobs)
@@ -478,7 +521,17 @@ func runConfigs(cfgs []Config, workers int) []*Aggregate {
 	out := make([]*Aggregate, len(cfgs))
 	for ci, c := range cfgs {
 		agg := &Aggregate{Config: c, Trials: trials[ci]}
-		for _, tr := range trials[ci] {
+		for ti, tr := range trials[ci] {
+			if te := fails[ci][ti]; te != nil {
+				// Aggregation runs on one goroutine after the pool drained, so
+				// failures surface in deterministic (config, trial) order and
+				// the hook needs no synchronization of its own.
+				agg.Failed = append(agg.Failed, *te)
+				if FailureHook != nil {
+					FailureHook(te)
+				}
+				continue
+			}
 			agg.BufRatios = append(agg.BufRatios, tr.BufRatio)
 			agg.Bitrates = append(agg.Bitrates, tr.AvgBitrate)
 			agg.AllScores = append(agg.AllScores, tr.Scores...)
@@ -487,6 +540,12 @@ func runConfigs(cfgs []Config, workers int) []*Aggregate {
 			cells := make([][]*obs.TrialReport, len(trials[ci]))
 			for ti := range trials[ci] {
 				cells[ti] = trials[ci][ti].SessionObs
+				if te := fails[ci][ti]; te != nil && cells[ti] == nil {
+					// A failed trial never snapshotted its scopes; substitute an
+					// explicit failed-marker report so exports keep one entry per
+					// trial instead of silently skipping the slot.
+					cells[ti] = []*obs.TrialReport{obs.FailedTrialReport(te.Clock)}
+				}
 			}
 			agg.Obs = obs.MergeSessions(cells)
 		}
@@ -520,8 +579,21 @@ func buildPath(s *sim.Sim, cfg Config, man *dash.Manifest, shift time.Duration) 
 // time a cancellation can lag.
 const interruptCheckpoint = time.Second
 
-func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64) Trial {
+// runTrial executes one trial world. A failure — recovered panic, invariant
+// violation, setup error, or watchdog budget — returns a zero Trial (marked
+// Failed) plus the TrialError; the caller's other trials are untouched.
+func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64, trial int) (tr Trial, terr *TrialError) {
+	tc := &trialCtx{cfg: cfg, trial: trial, seed: seed, session: -1}
 	s := sim.New(seed)
+	defer func() {
+		if r := recover(); r != nil {
+			tr = Trial{Failed: true}
+			terr = tc.fromPanic(r, time.Duration(s.Now()))
+		}
+	}()
+	if cfg.Invariants {
+		s.SetChecker(invariant.New())
+	}
 	n := cfg.sessions()
 
 	// One scope per session: each trial's world is single-threaded, so
@@ -553,7 +625,7 @@ func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64) T
 		kill := netem.Blackout{Windows: []netem.Window{{Start: FailoverKillTime, End: 1 << 62}}}
 		down, up, err := netem.NewProfile(cfg.Impairment)
 		if err != nil {
-			panic(err)
+			return Trial{Failed: true}, tc.errf(time.Duration(s.Now()), "error", "impairment profile: %v", err)
 		}
 		dc, uc := netem.Chain{kill}, netem.Chain{kill}
 		if down != nil {
@@ -566,7 +638,7 @@ func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64) T
 		path.Up.Impair(uc, seed+0x1000+0x9E3779B9)
 	} else if impaired {
 		if err := netem.ApplyProfile(path, cfg.Impairment, seed+0x1000); err != nil {
-			panic(err)
+			return Trial{Failed: true}, tc.errf(time.Duration(s.Now()), "error", "impairment profile: %v", err)
 		}
 	}
 
@@ -582,6 +654,7 @@ func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64) T
 	running := n
 	var lastDone, busyAtLastDone sim.Time
 	for si := 0; si < n; si++ {
+		tc.session = si
 		scope := scopes[si]
 		var clientCfg, serverCfg quic.Config
 		clientCfg.Obs = scope
@@ -607,7 +680,7 @@ func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64) T
 
 		clientConn, serverConn := quic.NewPair(s, path, clientCfg, serverCfg)
 		if _, err := server.New(serverConn, man, httpsim.ServerOptions{}); err != nil {
-			panic(err)
+			return Trial{Failed: true}, tc.errf(time.Duration(s.Now()), "error", "origin server: %v", err)
 		}
 
 		alg, mode, beta := newAlgorithm(cfg.System)
@@ -639,7 +712,7 @@ func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64) T
 			path2 := buildPath(s, cfg, man, shift)
 			if impaired {
 				if err := netem.ApplyProfile(path2, cfg.Impairment, seed+0x2000+int64(si)*0x9E37); err != nil {
-					panic(err)
+					return Trial{Failed: true}, tc.errf(time.Duration(s.Now()), "error", "backup impairment profile: %v", err)
 				}
 			}
 			c2cfg := clientCfg
@@ -650,7 +723,7 @@ func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64) T
 			}
 			clientConn2, serverConn2 := quic.NewPair(s, path2, c2cfg, s2cfg)
 			if _, err := server.New(serverConn2, man, httpsim.ServerOptions{}); err != nil {
-				panic(err)
+				return Trial{Failed: true}, tc.errf(time.Duration(s.Now()), "error", "backup origin server: %v", err)
 			}
 			pcfg.FailoverConns = []*quic.Conn{clientConn2}
 		}
@@ -665,33 +738,88 @@ func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64) T
 		})
 		players[si] = pl
 	}
+	tc.session = -1 // construction done; failures below are world-wide
+
+	if kind, ok := cfg.injectFor(trial); ok {
+		switch kind {
+		case injectPanic:
+			s.Schedule(sim.Time(injectTime), func() {
+				panic(fmt.Sprintf("injected fault (trial %d, seed %d)", trial, seed))
+			})
+		case injectInvariant:
+			s.Schedule(sim.Time(injectTime), func() {
+				panic(&invariant.Violation{Layer: "exp", Rule: "exp.injected-fault",
+					Detail: fmt.Sprintf("deliberate violation (trial %d, seed %d)", trial, seed)})
+			})
+		case injectSpin:
+			// Zero-delay event storm: virtual time freezes while the event
+			// count races — exactly the failure mode only the watchdog's
+			// event budget can catch.
+			var spin func()
+			spin = func() { s.Schedule(0, spin) }
+			s.Schedule(sim.Time(injectTime), spin)
+		}
+	}
 
 	limit := cfg.MaxSimTime
 	if limit == 0 {
 		limit = 20 * man.Duration()
 	}
-	if cfg.Interrupt == nil {
+	watchdog := cfg.WatchdogWall > 0 || cfg.WatchdogEvents > 0
+	if cfg.Interrupt == nil && !watchdog {
 		s.RunUntil(limit)
 	} else {
 		// Same event execution as one RunUntil(limit), sliced so a close of
-		// the Interrupt channel aborts the trial mid-flight instead of only
-		// between trials.
+		// the Interrupt channel — or a breached watchdog budget — stops the
+		// trial mid-flight instead of only between trials.
 		// The !s.Halted() guard matters since RunUntil stopped advancing the
 		// clock on a halted simulator: without it a mid-trial Halt would pin
 		// Now below the next checkpoint and spin this loop forever. Nothing
 		// in exp calls Halt today, so behavior is unchanged — this is
 		// insurance for session code that might.
+		var wallStart time.Time
+		if cfg.WatchdogWall > 0 {
+			wallStart = time.Now()
+		}
+		startExec := s.Executed()
 		aborted := false
 		for s.Now() < limit && !aborted && !s.Halted() && s.Pending() > 0 {
 			next := s.Now() + interruptCheckpoint
 			if next > limit {
 				next = limit
 			}
-			s.RunUntil(next)
-			select {
-			case <-cfg.Interrupt:
-				aborted = true
-			default:
+			if !watchdog {
+				s.RunUntil(next)
+			} else {
+				// Cap the slice's event budget so even a zero-delay storm —
+				// which RunUntil would never return from — yields control here
+				// every few million events for the budget checks below.
+				slice := uint64(watchdogSliceEvents)
+				if cfg.WatchdogEvents > 0 {
+					if rem := cfg.WatchdogEvents - (s.Executed() - startExec); rem < slice {
+						slice = rem
+					}
+				}
+				s.RunUntilBudget(next, slice)
+				if cfg.WatchdogEvents > 0 && s.Executed()-startExec >= cfg.WatchdogEvents {
+					return Trial{Failed: true}, tc.errf(time.Duration(s.Now()), "watchdog.event-budget",
+						"trial executed %d events (budget %d) at virtual %v",
+						s.Executed()-startExec, cfg.WatchdogEvents, time.Duration(s.Now()))
+				}
+				if cfg.WatchdogWall > 0 {
+					if elapsed := time.Since(wallStart); elapsed > cfg.WatchdogWall {
+						return Trial{Failed: true}, tc.errf(time.Duration(s.Now()), "watchdog.wall-budget",
+							"trial ran %v wall (budget %v) at virtual %v",
+							elapsed.Round(time.Millisecond), cfg.WatchdogWall, time.Duration(s.Now()))
+					}
+				}
+			}
+			if cfg.Interrupt != nil {
+				select {
+				case <-cfg.Interrupt:
+					aborted = true
+				default:
+				}
 			}
 		}
 		if !aborted && !s.Halted() && s.Now() < limit {
@@ -736,7 +864,7 @@ func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64) T
 		}
 		sessions[si] = sr
 	}
-	tr := foldSessions(sessions)
+	tr = foldSessions(sessions)
 	if lastDone > 0 {
 		tr.Utilization = float64(busyAtLastDone) / float64(lastDone)
 	}
@@ -749,7 +877,7 @@ func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64) T
 		}
 		tr.Obs = tr.SessionObs[0]
 	}
-	return tr
+	return tr, nil
 }
 
 // foldSessions collapses the per-session results into the trial-level

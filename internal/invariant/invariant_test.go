@@ -1,0 +1,66 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+// A nil checker is the disabled state: every method no-ops and allocates
+// nothing, which is what lets the hot paths keep it armed unconditionally.
+func TestNilCheckerIsFree(t *testing.T) {
+	var c *Checker
+	if c.Enabled() {
+		t.Fatal("nil checker reports enabled")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Check(false, "quic", "quic.test", "would fire")
+		c.Failf("quic", "quic.test", "would fire %d", 7)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil checker allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestArmedCheckPanicsWithViolation(t *testing.T) {
+	c := New()
+	if !c.Enabled() {
+		t.Fatal("New() checker not enabled")
+	}
+	c.Check(true, "sim", "sim.ok", "fine") // passing check must not fire
+	defer func() {
+		v, ok := AsViolation(recover())
+		if !ok {
+			t.Fatal("violation did not surface as *Violation")
+		}
+		if v.Layer != "player" || v.Rule != "player.buffer-nonnegative" {
+			t.Fatalf("wrong identity: %+v", v)
+		}
+		if !strings.Contains(v.Error(), "player.buffer-nonnegative") {
+			t.Fatalf("Error() missing rule: %q", v.Error())
+		}
+	}()
+	c.Check(false, "player", "player.buffer-nonnegative", "buffer -3ms")
+	t.Fatal("failed check did not panic")
+}
+
+func TestFailfFormats(t *testing.T) {
+	defer func() {
+		v, ok := AsViolation(recover())
+		if !ok {
+			t.Fatal("no violation")
+		}
+		if v.Detail != "sent 10 != acked 9" {
+			t.Fatalf("detail = %q", v.Detail)
+		}
+	}()
+	New().Failf("quic", "quic.packet-conservation", "sent %d != acked %d", 10, 9)
+}
+
+func TestAsViolationRejectsOtherPanics(t *testing.T) {
+	if _, ok := AsViolation("plain panic"); ok {
+		t.Fatal("string misidentified as violation")
+	}
+	if _, ok := AsViolation(nil); ok {
+		t.Fatal("nil misidentified as violation")
+	}
+}

@@ -153,6 +153,22 @@ func (l *Link) serveNext() {
 
 	deliver := q.d.Deliver
 	done := q.d.Done
+	if chk := l.sim.Checker(); chk.Enabled() && done != nil {
+		// Armed runs guard the Done contract per datagram: exactly one
+		// fate, so the callback must never run twice. The closure costs
+		// an allocation per datagram, paid only when checking is on.
+		size := q.d.Size
+		orig := done
+		ran := false
+		done = func() {
+			if ran {
+				chk.Failf("netem", "netem.done-exactly-once",
+					"Datagram.Done ran a second time (size %d)", size)
+			}
+			ran = true
+			orig()
+		}
+	}
 	l.sim.Schedule(serialization, func() {
 		var f Fate
 		if l.imp != nil {
@@ -179,6 +195,18 @@ func (l *Link) serveNext() {
 		// receiver always sees the bytes before the sender reclaims them.
 		if done != nil {
 			l.sim.Schedule(delay, done)
+		}
+		if chk := l.sim.Checker(); chk.Enabled() {
+			// Conservation at service completion: every datagram ever
+			// offered is exactly one of queue-dropped, impairment-dropped,
+			// delivered (this one included), or still queued behind us.
+			st := &l.stats
+			if accounted := st.Dropped + st.ImpairedDrops + st.Delivered +
+				uint64(len(l.queue)); st.Sent != accounted {
+				chk.Failf("netem", "netem.datagram-conservation",
+					"sent %d != dropped %d + impaired %d + delivered %d + queued %d",
+					st.Sent, st.Dropped, st.ImpairedDrops, st.Delivered, len(l.queue))
+			}
 		}
 		l.serveNext()
 	})

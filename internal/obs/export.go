@@ -14,11 +14,26 @@ import (
 type TrialReport struct {
 	Trial    int // trial index within the cell; stamped by the harness
 	Session  int // session index within the trial; 0 outside swarm mode
+	Failed   bool // the trial died; this is a placeholder, not a snapshot
 	Counters [NumCounters]uint64
 	Gauges   [NumGauges]int64
 	Hists    [NumHists]HistSnapshot
 	Events   []Event // surviving timeline events, seq order
 	Recorded uint64  // total events recorded (>= len(Events) when evicted)
+}
+
+// FailedTrialReport builds the placeholder report the harness substitutes
+// for a trial that died before its scopes could be snapshotted: an explicit
+// Failed marker carrying a single trial_failed timeline event stamped at
+// the failure's virtual time. Substituting (rather than skipping) keeps
+// exports aligned — every trial occupies exactly one slot — and makes the
+// failure visible in both the CSV (failed column) and the JSONL stream.
+func FailedTrialReport(at time.Duration) *TrialReport {
+	return &TrialReport{
+		Failed:   true,
+		Events:   []Event{{Seq: 1, At: at, Kind: EvTrialFailed}},
+		Recorded: 1,
+	}
 }
 
 // Dropped returns how many timeline events the ring evicted.
@@ -141,6 +156,8 @@ func appendEventJSON(b []byte, trial, session int, ev Event) []byte {
 // WriteCSV writes the per-trial counters in wide format: a header row of
 // counter names, one row per (trial, session) report, and a final "total"
 // row. Column order follows the Counter enum, so output is deterministic.
+// The trailing "failed" column marks failed-trial placeholder rows (1) and
+// counts them on the total row.
 func (r *Report) WriteCSV(w io.Writer) error {
 	if r == nil {
 		return nil
@@ -151,19 +168,27 @@ func (r *Report) WriteCSV(w io.Writer) error {
 		sb.WriteByte(',')
 		sb.WriteString(c.String())
 	}
-	sb.WriteByte('\n')
-	row := func(label string, vals *[NumCounters]uint64) {
+	sb.WriteString(",failed\n")
+	var nfailed uint64
+	row := func(label string, vals *[NumCounters]uint64, failed uint64) {
 		sb.WriteString(label)
 		for c := Counter(0); c < NumCounters; c++ {
 			sb.WriteByte(',')
 			sb.WriteString(strconv.FormatUint(vals[c], 10))
 		}
+		sb.WriteByte(',')
+		sb.WriteString(strconv.FormatUint(failed, 10))
 		sb.WriteByte('\n')
 	}
 	for _, t := range r.Trials {
-		row(strconv.Itoa(t.Trial)+","+strconv.Itoa(t.Session), &t.Counters)
+		var f uint64
+		if t.Failed {
+			f = 1
+			nfailed++
+		}
+		row(strconv.Itoa(t.Trial)+","+strconv.Itoa(t.Session), &t.Counters, f)
 	}
-	row("total,-", &r.Totals)
+	row("total,-", &r.Totals, nfailed)
 	_, err := io.WriteString(w, sb.String())
 	return err
 }

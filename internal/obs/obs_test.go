@@ -251,7 +251,7 @@ func TestCSVShapeAndTotals(t *testing.T) {
 	if len(rows) != 4 { // header + 2 trials + total
 		t.Fatalf("got %d rows, want 4:\n%s", len(rows), buf.String())
 	}
-	wantCols := 2 + int(NumCounters)
+	wantCols := 2 + int(NumCounters) + 1 // trial, session, counters, failed
 	for i, row := range rows {
 		if got := len(strings.Split(row, ",")); got != wantCols {
 			t.Fatalf("row %d has %d columns, want %d", i, got, wantCols)

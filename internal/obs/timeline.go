@@ -49,6 +49,10 @@ const (
 	// EvConnClosed: a transport connection closed. A=reason code
 	// (ReasonIdleTimeout, ReasonClosed, ReasonOther).
 	EvConnClosed
+	// EvTrialFailed: the trial died (panic, invariant violation, or watchdog
+	// budget) and this report is the harness's failed-trial placeholder. The
+	// event is stamped at the failure's virtual time.
+	EvTrialFailed
 
 	NumKinds
 )
@@ -77,6 +81,7 @@ var kindNames = [NumKinds]string{
 	EvSegmentDone:     "segment_done",
 	EvStartup:         "startup",
 	EvConnClosed:      "conn_closed",
+	EvTrialFailed:     "trial_failed",
 }
 
 // String returns the kind's snake_case export name.

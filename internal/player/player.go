@@ -331,6 +331,14 @@ func (p *Player) syncBuffer() {
 	now := p.sim.Now()
 	elapsed := now - p.lastSync
 	p.lastSync = now
+	if chk := p.sim.Checker(); chk.Enabled() {
+		// The playback buffer is physical media: it can drain to zero but
+		// never below, and accumulated stall can only grow.
+		if p.buffer < 0 || p.stall < 0 || elapsed < 0 {
+			chk.Failf("player", "player.buffer-nonnegative",
+				"buffer %v, stall %v, elapsed %v at %v", p.buffer, p.stall, elapsed, now)
+		}
+	}
 	if !p.started || elapsed <= 0 {
 		return
 	}

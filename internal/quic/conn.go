@@ -112,6 +112,16 @@ type Conn struct {
 	stats Stats
 	obs   *obs.Scope // nil = telemetry disabled (all calls no-op)
 
+	// Conservation counters for the invariant checker: every ack-eliciting
+	// packet pushed into sentQ must end up acked or declared lost, with the
+	// remainder in flight. Plain uint adds on the hot path; the comparison
+	// against the queue only happens with a checker armed on the sim.
+	elicSent   uint64 // ack-eliciting packets pushed into sentQ
+	elicBytes  uint64 // wire bytes of those packets
+	ackedPkts  uint64 // packets removed from sentQ by an ACK
+	ackedBytes uint64
+	lostBytes  uint64 // wire bytes of packets declared lost
+
 	// packet number spaces
 	nextPN        uint64
 	sentQ         sentQueue // in-flight ack-eliciting packets, ascending pn
@@ -581,6 +591,8 @@ func (c *Conn) sendOnePacket() bool {
 
 	if sp.ackEliciting {
 		c.sentQ.push(sp)
+		c.elicSent++
+		c.elicBytes += uint64(wireSize)
 		c.ctl.OnPacketSent(now, wireSize)
 		c.lastAckElic = now
 		c.armPTO()
@@ -835,6 +847,8 @@ func (c *Conn) onAck(f *AckFrame) {
 			c.obs.Observe(obs.HRTTMs, int64((now-last.sentAt)/time.Millisecond))
 		}
 		for _, sp := range newlyAcked {
+			c.ackedPkts++
+			c.ackedBytes += uint64(sp.size)
 			c.ctl.OnAck(now, sp.size, now-sp.sentAt)
 		}
 		c.ptoCount = 0
@@ -848,8 +862,36 @@ func (c *Conn) onAck(f *AckFrame) {
 	c.ackScratch = newlyAcked[:0]
 
 	c.detectLosses(now)
+	c.checkConservation()
 	c.armPTO()
 	c.trySend()
+}
+
+// checkConservation asserts, with a checker armed on the sim, that every
+// ack-eliciting packet (and byte) ever pushed into the in-flight queue is
+// accounted for exactly once: acknowledged, declared lost, or still in
+// flight. The in-flight side is recomputed from the queue itself, so a
+// requeue path that drops or duplicates a packet without bookkeeping is
+// caught at the next ACK.
+func (c *Conn) checkConservation() {
+	chk := c.sim.Checker()
+	if !chk.Enabled() || c.closed {
+		return
+	}
+	if inflight := uint64(c.sentQ.size()); c.elicSent != c.ackedPkts+c.stats.PacketsDeclLost+inflight {
+		chk.Failf("quic", "quic.packet-conservation",
+			"sent %d != acked %d + lost %d + inflight %d",
+			c.elicSent, c.ackedPkts, c.stats.PacketsDeclLost, inflight)
+	}
+	var infBytes uint64
+	for i := c.sentQ.head; i < len(c.sentQ.pk); i++ {
+		infBytes += uint64(c.sentQ.pk[i].size)
+	}
+	if c.elicBytes != c.ackedBytes+c.lostBytes+infBytes {
+		chk.Failf("quic", "quic.byte-conservation",
+			"sent %d B != acked %d B + lost %d B + inflight %d B",
+			c.elicBytes, c.ackedBytes, c.lostBytes, infBytes)
+	}
 }
 
 // detectLosses declares packets lost by packet threshold (3) and time
@@ -884,6 +926,7 @@ func (c *Conn) detectLosses(now sim.Time) {
 	for i := 0; i < lost; i++ {
 		sp := q.pk[q.head+i]
 		c.stats.PacketsDeclLost++
+		c.lostBytes += uint64(sp.size)
 		c.obs.Inc(obs.CPacketsLost)
 		isNew := sp.sentAt >= c.recoveryStart
 		if isNew {
@@ -961,6 +1004,7 @@ func (c *Conn) onPTO() {
 		q := &c.sentQ
 		for i := q.head; i < len(q.pk); i++ {
 			c.stats.PacketsDeclLost++
+			c.lostBytes += uint64(q.pk[i].size)
 			c.requeueLost(q.pk[i])
 		}
 		q.reset()
@@ -991,6 +1035,8 @@ func (c *Conn) onPTO() {
 	sp.ackEliciting = true
 	sp.probe = true
 	c.sentQ.push(sp)
+	c.elicSent++
+	c.elicBytes += uint64(sp.size)
 	c.stats.PacketsSent++
 	c.obs.Inc(obs.CPacketsSent)
 	c.obs.Count(obs.CBytesSent, uint64(len(encoded)))

@@ -228,6 +228,17 @@ func (s *Stream) maybeFin() {
 	if !s.fullyAccounted() {
 		return
 	}
+	if chk := s.conn.sim.Checker(); chk.Enabled() && !s.unreliable && s.finalSize > 0 {
+		// Reliable delivery must finalize as one contiguous range
+		// [0, finalSize): a gap or an overshoot here means retransmission
+		// lost or duplicated bytes that the application will never see.
+		rs := s.received.Ranges()
+		if len(rs) != 1 || rs[0].Start != 0 || rs[0].End != s.finalSize {
+			chk.Failf("quic", "quic.reliable-contiguity",
+				"stream %d finalized with %d ranges, covered %d of %d bytes",
+				s.id, len(rs), s.received.CoveredBytes(), s.finalSize)
+		}
+	}
 	s.doneFin = true
 	s.onFin(s.finalSize)
 }

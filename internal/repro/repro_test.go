@@ -1,0 +1,90 @@
+package repro
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func sample() *Artifact {
+	return &Artifact{
+		Title:      "BBB",
+		System:     "VOXEL",
+		Trace:      "verizon",
+		Segments:   6,
+		Trials:     2,
+		Trial:      1,
+		Seed:       4242,
+		Impairment: "flaky-wifi",
+		Violation:  "quic.byte-conservation",
+		Detail:     "sent 100 B != acked 90 B + lost 0 B + inflight 0 B",
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	a := sample()
+	b, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *a {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, a)
+	}
+	// Stable bytes: encoding the decoded artifact reproduces the file.
+	b2, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatalf("encoding not stable:\n%s\nvs\n%s", b, b2)
+	}
+	if b[len(b)-1] != '\n' {
+		t.Fatal("missing trailing newline")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "crash.json")
+	a := sample()
+	if err := a.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *a {
+		t.Fatalf("load mismatch: %+v", got)
+	}
+}
+
+// Unknown fields mean a typo'd hand edit would silently change the repro;
+// reject them loudly instead.
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	if _, err := Decode([]byte(`{"title":"BBB","trial":0,"sead":7}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestDecodeRequiresTitle(t *testing.T) {
+	if _, err := Decode([]byte(`{"trial":0,"seed":7}`)); err == nil {
+		t.Fatal("artifact without title accepted")
+	}
+}
+
+// Zero-valued knobs stay off disk so shrunk artifacts read minimally.
+func TestEncodeOmitsDefaults(t *testing.T) {
+	b, err := (&Artifact{Title: "BBB"}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"impairment", "failover", "cc", "sessions", "inject"} {
+		if bytes.Contains(b, []byte(field)) {
+			t.Fatalf("zero-valued %q serialized:\n%s", field, b)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// RunUntilBudget must stop a self-perpetuating zero-delay event storm —
+// the case plain RunUntil never returns from — and report exhaustion
+// without advancing the clock past the last fired event.
+func TestRunUntilBudgetStopsEventStorm(t *testing.T) {
+	s := New(1)
+	fired := 0
+	var spin func()
+	spin = func() {
+		fired++
+		s.Schedule(0, spin)
+	}
+	s.Schedule(time.Millisecond, spin)
+	if !s.RunUntilBudget(time.Second, 1000) {
+		t.Fatal("storm did not exhaust the budget")
+	}
+	if fired != 1000 {
+		t.Fatalf("fired %d events, want exactly the 1000 budget", fired)
+	}
+	if s.Now() != time.Millisecond {
+		t.Fatalf("clock = %v, want pinned at the storm's instant", s.Now())
+	}
+	// The storm is still pending; a second call resumes exactly where the
+	// first stopped.
+	if !s.RunUntilBudget(time.Second, 500) {
+		t.Fatal("resumed storm did not exhaust")
+	}
+	if fired != 1500 {
+		t.Fatalf("fired %d after resume, want 1500", fired)
+	}
+}
+
+// Draining the queue within budget is not exhaustion: the clock must
+// fast-forward to the deadline exactly like RunUntil.
+func TestRunUntilBudgetDrainsLikeRunUntil(t *testing.T) {
+	s := New(1)
+	fired := 0
+	for i := 1; i <= 5; i++ {
+		s.Schedule(time.Duration(i)*time.Millisecond, func() { fired++ })
+	}
+	if s.RunUntilBudget(time.Second, 5) {
+		t.Fatal("exact-budget completion flagged as exhausted")
+	}
+	if fired != 5 {
+		t.Fatalf("fired %d, want 5", fired)
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("clock = %v, want fast-forwarded to the deadline", s.Now())
+	}
+}
+
+// Events beyond the deadline stay queued and the call is not exhausted.
+func TestRunUntilBudgetRespectsDeadline(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.Schedule(time.Millisecond, func() { fired++ })
+	s.Schedule(time.Hour, func() { fired++ })
+	if s.RunUntilBudget(time.Second, 100) {
+		t.Fatal("deadline stop flagged as exhausted")
+	}
+	if fired != 1 || s.Pending() != 1 {
+		t.Fatalf("fired=%d pending=%d, want 1/1", fired, s.Pending())
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("clock = %v, want deadline", s.Now())
+	}
+}

@@ -36,6 +36,8 @@ import (
 	"math/bits"
 	"math/rand"
 	"time"
+
+	"voxel/internal/invariant"
 )
 
 // Time is virtual time measured as a duration since the start of the
@@ -146,6 +148,8 @@ type Sim struct {
 
 	free  []*Event  // recycled events; Schedule/At pop from here
 	spare [][]entry // drained bucket arrays, reissued to empty buckets
+
+	check *invariant.Checker // nil = invariant checking disabled
 }
 
 // New returns a simulator whose random source is seeded with seed.
@@ -156,6 +160,14 @@ func New(seed int64) *Sim {
 		occ:   make([]uint64, wheelWords),
 	}
 }
+
+// SetChecker arms (or, with nil, disarms) cross-layer invariant checking
+// for this world. The kernel itself asserts clock monotonicity; layers
+// built on the kernel read the checker back via Checker.
+func (s *Sim) SetChecker(c *invariant.Checker) { s.check = c }
+
+// Checker returns the armed invariant checker (nil when checking is off).
+func (s *Sim) Checker() *invariant.Checker { return s.check }
 
 // Now returns the current virtual time.
 func (s *Sim) Now() Time { return s.now }
@@ -410,6 +422,10 @@ func (s *Sim) nextOccupied() (int64, bool) {
 func (s *Sim) fire(en entry) {
 	s.duePos++
 	if en.at < s.now {
+		// With a checker armed this becomes a typed Violation the harness
+		// can attribute; otherwise keep the legacy panic text.
+		s.check.Failf("sim", "sim.clock-monotone",
+			"next event at %v behind clock %v", en.at, s.now)
 		panic(fmt.Sprintf("sim: time went backwards: %v < %v", en.at, s.now))
 	}
 	s.now = en.at
@@ -458,6 +474,32 @@ func (s *Sim) RunUntil(deadline Time) {
 	if !s.halted && s.now < deadline {
 		s.now = deadline
 	}
+}
+
+// RunUntilBudget is RunUntil with an event budget: it executes at most
+// budget events with At <= deadline and reports whether the budget was
+// exhausted with runnable work still pending. When it returns false the
+// semantics are exactly RunUntil's (the clock lands on deadline); when it
+// returns true the clock stays at the last executed event so a watchdog
+// can attribute the overrun to a precise virtual instant. A zero-delay
+// event storm — the failure mode a plain RunUntil cannot escape, because
+// the clock never reaches the deadline — is bounded by the budget.
+func (s *Sim) RunUntilBudget(deadline Time, budget uint64) (exhausted bool) {
+	for !s.halted {
+		en, ok := s.peek(deadline)
+		if !ok || en.at > deadline {
+			break
+		}
+		if budget == 0 {
+			return true
+		}
+		s.fire(en)
+		budget--
+	}
+	if !s.halted && s.now < deadline {
+		s.now = deadline
+	}
+	return false
 }
 
 // Pending returns the number of scheduled events (excluding canceled ones,

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzQuantiles throws arbitrary float64 bit patterns — NaN payloads,
+// infinities, subnormals — at the percentile/CDF stack. The toolkit's
+// contract is: never panic, drop NaN samples, and keep every finite-input
+// answer inside the sample's [min, max] envelope.
+//
+// Run with: go test -fuzz FuzzQuantiles ./internal/stats
+func FuzzQuantiles(f *testing.F) {
+	nan := math.Float64bits(math.NaN())
+	inf := math.Float64bits(math.Inf(1))
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), 50.0)
+	f.Add(nan, nan, nan, nan, 90.0)
+	f.Add(inf, ^inf, nan, math.Float64bits(1.5), math.NaN())
+	f.Add(uint64(1), uint64(2), math.Float64bits(-0.0), inf, 200.0)
+	f.Fuzz(func(t *testing.T, b0, b1, b2, b3 uint64, p float64) {
+		xs := []float64{
+			math.Float64frombits(b0),
+			math.Float64frombits(b1),
+			math.Float64frombits(b2),
+			math.Float64frombits(b3),
+		}
+		lo, hi, clean := math.Inf(1), math.Inf(-1), 0
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				continue
+			}
+			clean++
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+
+		got := Percentile(xs, p)
+		switch {
+		case clean == 0:
+			if got != 0 {
+				t.Fatalf("Percentile of all-NaN sample = %v, want 0", got)
+			}
+		case math.IsNaN(p):
+			if !math.IsNaN(got) {
+				t.Fatalf("Percentile(p=NaN) = %v, want NaN", got)
+			}
+		default:
+			if !(got >= lo && got <= hi) && !math.IsNaN(got) {
+				t.Fatalf("Percentile(%v, %v) = %v outside [%v, %v]", xs, p, got, lo, hi)
+			}
+		}
+
+		c := NewCDF(xs)
+		if c.Len() != clean {
+			t.Fatalf("CDF kept %d samples, want %d non-NaN", c.Len(), clean)
+		}
+		for _, x := range xs {
+			cum := c.At(x)
+			if math.IsNaN(x) {
+				continue
+			}
+			if cum < 0 || cum > 1 {
+				t.Fatalf("At(%v) = %v outside [0, 1]", x, cum)
+			}
+		}
+		if clean > 0 {
+			if q := c.Quantile(p / 100); !math.IsNaN(q) && !(q >= lo && q <= hi) {
+				t.Fatalf("Quantile(%v) = %v outside [%v, %v]", p/100, q, lo, hi)
+			}
+		}
+
+		// Summarize runs the whole percentile ladder; the envelope check
+		// catches any rank-interpolation bug the individual calls missed.
+		s := Summarize(xs)
+		if s.N != clean {
+			t.Fatalf("Summary.N = %d, want %d", s.N, clean)
+		}
+		for name, v := range map[string]float64{
+			"P10": s.P10, "P25": s.P25, "Median": s.Median,
+			"P75": s.P75, "P90": s.P90, "P95": s.P95,
+		} {
+			if clean > 0 && !math.IsNaN(v) && !(v >= lo && v <= hi) {
+				t.Fatalf("Summary.%s = %v outside [%v, %v]", name, v, lo, hi)
+			}
+		}
+	})
+}

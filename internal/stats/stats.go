@@ -91,7 +91,16 @@ func percentileSorted(sorted []float64, p float64) float64 {
 		return sorted[lo]
 	}
 	frac := rank - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
+	v := sorted[lo]*(1-frac) + sorted[hi]*frac
+	// The interpolation can round outside the bracket — subnormal terms
+	// underflow to 0, huge ones overflow — so clamp to the two ranks.
+	if v < sorted[lo] {
+		v = sorted[lo]
+	}
+	if v > sorted[hi] {
+		v = sorted[hi]
+	}
+	return v
 }
 
 // JainIndex computes Jain's fairness index (Σx)² / (n·Σx²) over xs — 1.0

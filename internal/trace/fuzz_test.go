@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// FuzzParseCSV feeds arbitrary bytes to the CSV trace parser. The parser
+// guards the -load path of voxel-traces and any hand-edited trace file, so
+// it must never panic, and every trace it does accept must be well-formed:
+// non-empty, with finite non-negative rates.
+//
+// Run with: go test -fuzz FuzzParseCSV ./internal/trace
+func FuzzParseCSV(f *testing.F) {
+	f.Add([]byte("second,mbps\n0,4.2\n1,0\n2,11.5\n"))
+	f.Add([]byte("0,1.0\n1,2.0\n"))
+	f.Add([]byte("1,1.0\n0,2.0\n"))       // out of order
+	f.Add([]byte("0,NaN\n"))              // non-finite rate
+	f.Add([]byte("0,-3\n"))               // negative rate
+	f.Add([]byte("second,mbps\n\n\n"))    // header only
+	f.Add([]byte("0;1.0"))                // wrong delimiter
+	f.Add([]byte{0xff, 0x2c, 0x00, 0x0a}) // raw bytes with a comma
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ParseCSV("fuzz", data)
+		if err != nil {
+			return
+		}
+		if tr.Duration() <= 0 {
+			t.Fatalf("accepted trace has duration %v", tr.Duration())
+		}
+		for i, bps := range tr.Samples() {
+			if bps < 0 || bps != bps || bps > 1e18 {
+				t.Fatalf("accepted trace has bad sample %d: %v bps", i, bps)
+			}
+		}
+	})
+}
+
+// FuzzParseCSVRoundTrip: any trace the parser accepts must survive a
+// re-emit/re-parse cycle with the emitCSV format voxel-traces uses
+// (%.3f Mbps), up to that format's quantization.
+func FuzzParseCSVRoundTrip(f *testing.F) {
+	f.Add(uint16(4200), uint16(0), uint16(11500))
+	f.Add(uint16(1), uint16(65535), uint16(1000))
+	f.Fuzz(func(t *testing.T, a, b, c uint16) {
+		var sb strings.Builder
+		sb.WriteString("second,mbps\n")
+		for i, kbps := range []uint16{a, b, c} {
+			fmt.Fprintf(&sb, "%d,%.3f\n", i, float64(kbps)/1000)
+		}
+		tr, err := ParseCSV("fuzz", []byte(sb.String()))
+		if err != nil {
+			t.Fatalf("generated CSV rejected: %v\n%s", err, sb.String())
+		}
+		samples := tr.Samples()
+		if len(samples) != 3 {
+			t.Fatalf("got %d samples, want 3", len(samples))
+		}
+		for i, kbps := range []uint16{a, b, c} {
+			want := float64(kbps) / 1000 * 1e6
+			if diff := samples[i] - want; diff > 0.5 || diff < -0.5 {
+				t.Fatalf("sample %d = %v bps, want %v", i, samples[i], want)
+			}
+		}
+	})
+}

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseCSV builds a trace from "second,mbps" CSV, the format voxel-traces
+// -csv emits, so an exported trace round-trips back into an experiment. An
+// optional header row is skipped; the second column is Mbps; the first
+// column must count 0,1,2,... (one sample per second, no gaps — a shuffled
+// or sparse file is almost certainly not the trace the user meant).
+// Negative and non-finite rates are rejected; zeros are allowed (outages).
+func ParseCSV(name string, data []byte) (*Trace, error) {
+	var samples []float64
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		col1, col2, ok := strings.Cut(line, ",")
+		if !ok {
+			return nil, fmt.Errorf("trace: line %d: want \"second,mbps\", got %q", ln+1, line)
+		}
+		if len(samples) == 0 {
+			if _, err := strconv.Atoi(strings.TrimSpace(col1)); err != nil {
+				continue // header row
+			}
+		}
+		sec, err := strconv.Atoi(strings.TrimSpace(col1))
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad second %q", ln+1, col1)
+		}
+		if sec != len(samples) {
+			return nil, fmt.Errorf("trace: line %d: second %d out of order (want %d)", ln+1, sec, len(samples))
+		}
+		mbps, err := strconv.ParseFloat(strings.TrimSpace(col2), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad rate %q", ln+1, col2)
+		}
+		if mbps < 0 || mbps != mbps || mbps > 1e12 {
+			return nil, fmt.Errorf("trace: line %d: rate %v Mbps out of range", ln+1, mbps)
+		}
+		samples = append(samples, mbps*1e6)
+	}
+	return New(name, samples)
+}

@@ -379,3 +379,22 @@ func ByName(name string) (*Trace, error) {
 
 // Names lists the canonical trace names accepted by ByName.
 func Names() []string { return []string{"tmobile", "verizon", "att", "3g", "fcc", "wild"} }
+
+// canonicalByInternal maps each canonical trace's internal name back to its
+// ByName key, so a replay command can name the flag value that rebuilds it.
+var canonicalByInternal = map[string]string{
+	"tmobile-lte":      "tmobile",
+	"verizon-lte":      "verizon",
+	"att-lte":          "att",
+	"norway-3g":        "3g",
+	"fcc-broadband":    "fcc",
+	"in-the-wild-wifi": "wild",
+}
+
+// CanonicalName returns the ByName key that rebuilds this trace; ok is
+// false for traces outside the canonical set (constant, step, Riiser,
+// shifted copies).
+func CanonicalName(t *Trace) (string, bool) {
+	name, ok := canonicalByInternal[t.name]
+	return name, ok
+}

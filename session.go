@@ -160,6 +160,35 @@ func WithMaxSimTime(d time.Duration) Option {
 	return func(s *Session) { s.cfg.MaxSimTime = d }
 }
 
+// WithInvariants arms the cross-layer invariant checker in every trial
+// world: QUIC* packet/byte conservation, reliable-stream contiguity,
+// non-negative player buffer, monotone simulator clock, exactly-one
+// datagram fate. A violation fails that trial with a TrialError in
+// Aggregate.Failed; the other trials keep running. Off by default and free
+// when off.
+func WithInvariants() Option {
+	return func(s *Session) { s.cfg.Invariants = true }
+}
+
+// WithWatchdog bounds each trial by wall-clock time and/or executed
+// simulator events (0 disables that budget). A breached budget fails the
+// trial with a "watchdog.*" TrialError instead of hanging the run — the
+// only defense against a zero-delay event storm, which burns events
+// without advancing virtual time.
+func WithWatchdog(wall time.Duration, events uint64) Option {
+	return func(s *Session) {
+		s.cfg.WatchdogWall = wall
+		s.cfg.WatchdogEvents = events
+	}
+}
+
+// WithInject schedules a deliberate fault inside the trial world ("panic",
+// "invariant", or "spin", optionally "@trial") to exercise the failure
+// pipeline end to end. Meant for tests and repro artifacts.
+func WithInject(spec string) Option {
+	return func(s *Session) { s.cfg.Inject = spec }
+}
+
 func (s *Session) fail(err error) {
 	if s.err == nil {
 		s.err = err

@@ -41,6 +41,9 @@ type (
 	// SessionResult is one session's summary within a swarm-mode Trial
 	// (see WithSessions).
 	SessionResult = exp.SessionResult
+	// TrialError is the structured failure record of one trial (recovered
+	// panic, invariant violation, or watchdog budget); see Aggregate.Failed.
+	TrialError = exp.TrialError
 	// Clip is the clip-statistics input to RunSurvey.
 	Clip = survey.Clip
 	// Outcome is the user-study result RunSurvey returns.
