@@ -17,11 +17,15 @@ func TestChaosSmoke(t *testing.T) {
 	}
 	run := func(name, impairment string, failover bool) {
 		t.Run(name, func(t *testing.T) {
-			agg, err := voxel.Stream(voxel.Config{
-				Title: "BBB", System: voxel.VOXEL, Trace: tr,
-				Trials: 1, Segments: 8,
-				Impairment: impairment, Failover: failover,
-			})
+			opts := []voxel.Option{
+				voxel.WithSystem(voxel.VOXEL), voxel.WithTrace(tr),
+				voxel.WithTrials(1), voxel.WithSegments(8),
+				voxel.WithImpairment(impairment),
+			}
+			if failover {
+				opts = append(opts, voxel.WithFailover())
+			}
+			agg, _, err := voxel.New("BBB", opts...).Run()
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -35,7 +39,7 @@ func TestChaosSmoke(t *testing.T) {
 	}
 	run("failover", "handover-blackout", true)
 
-	if _, err := voxel.Stream(voxel.Config{Title: "BBB", Impairment: "nope"}); err == nil {
+	if _, _, err := voxel.New("BBB", voxel.WithImpairment("nope")).Run(); err == nil {
 		t.Fatal("unknown impairment profile must be rejected")
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"voxel/internal/exp"
 	"voxel/internal/figures"
 	"voxel/internal/profiling"
+	"voxel/internal/sweep"
 )
 
 func main() {
@@ -26,6 +27,8 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"concurrent trial workers per exhibit (1 = sequential; results are identical either way)")
 	only := flag.String("only", "", "comma-separated exhibit IDs (e.g. Fig6,Fig10)")
+	shardSpec := flag.String("shard", "",
+		"run only exhibit shard i of n (\"i/n\"): the k-th selected exhibit runs when k ≡ i (mod n); every exhibit is deterministic on its own, so shard outputs concatenate")
 	list := flag.Bool("list", false, "list exhibit IDs and exit")
 	out := flag.String("out", "", "also write the tables to this Markdown file (flushed after each exhibit)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -70,6 +73,21 @@ func main() {
 		}
 	} else {
 		selected = figures.All()
+	}
+	if *shardSpec != "" {
+		shard, err := sweep.ParseShard(*shardSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "voxel-bench:", err)
+			os.Exit(1)
+		}
+		var mine []figures.Generator
+		for k, g := range selected {
+			if k%shard.Count == shard.Index {
+				mine = append(mine, g)
+			}
+		}
+		fmt.Printf("shard %s: %d of %d exhibits\n", shard, len(mine), len(selected))
+		selected = mine
 	}
 
 	// Open the results file up front and flush after every exhibit, so an

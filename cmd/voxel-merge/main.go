@@ -1,0 +1,137 @@
+// Command voxel-merge folds the checkpoint files of a sharded campaign
+// (written by voxel-sim -shard i/n -checkpoint) back into the
+// single-process result. Given every shard of one campaign it verifies the
+// set — same experiment fingerprint, same mode, complete and disjoint — and
+// prints the merged statistics exactly as an unsharded voxel-sim run would.
+//
+// -out re-serializes the merged campaign as an unsharded checkpoint file,
+// byte-identical to what one uninterrupted process would have written
+// (modulo run-specific failure stacks); CI uses that for the determinism
+// check. -telemetry-out / -telemetry-csv export the merged telemetry
+// exactly as voxel-sim does.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"voxel"
+	"voxel/internal/stats"
+	"voxel/internal/sweep"
+)
+
+func main() {
+	out := flag.String("out", "",
+		"write the merged campaign as an unsharded checkpoint file (byte-identical to a single-process run's)")
+	telemetryOut := flag.String("telemetry-out", "",
+		"write the merged telemetry timeline as JSONL to this file (- = stdout)")
+	telemetryCSV := flag.String("telemetry-csv", "",
+		"write merged per-trial telemetry counters as CSV to this file (- = stdout)")
+	flag.Parse()
+	files := flag.Args()
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: voxel-merge [flags] shard0.json shard1.json ...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	m, err := sweep.MergeFiles(files)
+	if err != nil {
+		fatal(err)
+	}
+	if m.Stream != nil {
+		fmt.Printf("merged %d streaming shard file(s)\n\n", len(files))
+		fmt.Print(m.Stream.Summary())
+	} else {
+		printAggregate(m.Agg, len(files))
+		if m.Agg.Obs != nil {
+			if err := exportTelemetry(m.Agg.Obs, *telemetryOut, *telemetryCSV); err != nil {
+				fatal(err)
+			}
+		} else if *telemetryOut != "" || *telemetryCSV != "" {
+			fatal(fmt.Errorf("the shards were run without -telemetry; nothing to export"))
+		}
+	}
+	if *out != "" {
+		if err := m.WriteFile(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if m.Agg != nil && len(m.Agg.Failed) > 0 {
+		os.Exit(1)
+	}
+	if m.Stream != nil && m.Stream.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// printAggregate renders the merged campaign in voxel-sim's output shape.
+func printAggregate(agg *voxel.Aggregate, files int) {
+	cfg := agg.Config
+	fmt.Printf("merged %d shard file(s): %s / %s, %d trials\n",
+		files, cfg.System, cfg.Title, len(agg.Trials))
+	if len(agg.Failed) > 0 {
+		fmt.Printf("\n%d of %d trials FAILED:\n", len(agg.Failed), len(agg.Trials))
+		for i := range agg.Failed {
+			te := &agg.Failed[i]
+			fmt.Printf("  trial %d (seed %d) at virtual %v: %s — %s\n",
+				te.Trial, te.Seed, te.Clock, te.Rule, te.Msg)
+			fmt.Printf("    replay: %s\n", te.ReplayCommand())
+		}
+	}
+	fmt.Printf("\n%-26s %v\n", "trials:", len(agg.Trials))
+	fmt.Printf("%-26s %.2f%%\n", "bufRatio (p90):", 100*agg.BufRatioP90())
+	fmt.Printf("%-26s %.2f%%\n", "bufRatio (mean):", 100*agg.BufRatioMean())
+	fmt.Printf("%-26s %.2f Mbps\n", "avg bitrate:", agg.BitrateMean()/1e6)
+	cdf := agg.ScoreCDF()
+	fmt.Printf("%-26s p10=%.4f median=%.4f p90=%.4f\n", cfg.Metric.String()+" scores:",
+		cdf.Quantile(0.1), cdf.Quantile(0.5), cdf.Quantile(0.9))
+	var skipped, residual, startup []float64
+	for _, t := range agg.Trials {
+		skipped = append(skipped, t.Skipped)
+		residual = append(residual, t.Residual)
+		startup = append(startup, t.StartupDelay.Seconds())
+	}
+	fmt.Printf("%-26s %.2f%%\n", "data skipped (mean):", 100*stats.Mean(skipped))
+	fmt.Printf("%-26s %.2f%%\n", "residual loss (mean):", 100*stats.Mean(residual))
+	fmt.Printf("%-26s %.2f s\n", "startup delay (mean):", stats.Mean(startup))
+}
+
+// exportTelemetry mirrors voxel-sim's export helper ("" = skip, "-" =
+// stdout).
+func exportTelemetry(report *voxel.Report, jsonlPath, csvPath string) error {
+	write := func(path string, emit func(w io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		if path == "-" {
+			return emit(os.Stdout)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", path)
+		return nil
+	}
+	if err := write(jsonlPath, report.WriteJSONL); err != nil {
+		return err
+	}
+	return write(csvPath, report.WriteCSV)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "voxel-merge:", strings.TrimPrefix(err.Error(), "sweep: "))
+	os.Exit(1)
+}

@@ -5,6 +5,12 @@
 // collects the per-trial obs timeline and counters, prints a summary, and
 // can export them as JSONL (-telemetry-out) and CSV (-telemetry-csv).
 //
+// Large campaigns scale out with the sweep engine: -shard i/n runs only
+// this process's slice of the trial set (merge the shard outputs with
+// voxel-merge), -checkpoint makes the run resumable after a crash or
+// SIGKILL with no recomputation, and -stream folds trials into
+// bounded-memory quantile sketches instead of retaining them.
+//
 // With -repro it instead replays a JSON crash artifact (written by
 // voxel-fuzz) with invariants and watchdog armed, and exits 0 only if the
 // artifact's recorded violation reproduces.
@@ -16,6 +22,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 
 	"voxel"
@@ -24,6 +31,7 @@ import (
 	"voxel/internal/profiling"
 	"voxel/internal/repro"
 	"voxel/internal/stats"
+	"voxel/internal/sweep"
 )
 
 // stopProfiles flushes any active pprof collectors; fatal runs it so a
@@ -60,27 +68,27 @@ func main() {
 		"arm the cross-layer invariant checker; a violation fails the trial with a replayable error")
 	inject := flag.String("inject", "",
 		"schedule a deliberate fault: panic, invariant, or spin, optionally @trial (tests the failure pipeline)")
+	shardSpec := flag.String("shard", "",
+		"run only shard i of an n-way campaign (\"i/n\", e.g. 0/4); fold the shard outputs with voxel-merge")
+	checkpointPath := flag.String("checkpoint", "",
+		"resumable state file: finished trials restore from it, new ones append atomically; the finished file is the shard output voxel-merge consumes")
+	checkpointEvery := flag.Int("checkpoint-every", 1,
+		"write the checkpoint after every N completed trials (requires -checkpoint)")
+	stream := flag.Bool("stream", false,
+		"streaming aggregation: fold each trial into mergeable quantile sketches (relative error ≤ 1%) and discard it, bounding memory by sketch size instead of trial count")
 	reproPath := flag.String("repro", "",
 		"replay a JSON crash artifact with invariants+watchdog armed; exits 0 only if its violation reproduces (exclusive with sweep flags)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	shard, err := validateFlags(set, *shardSpec)
+	if err != nil {
+		fatal(err)
+	}
 	if *reproPath != "" {
-		// -repro replays exactly what the artifact describes; any sweep flag
-		// alongside it would be silently ignored, so reject the combination.
-		var conflicts []string
-		flag.Visit(func(f *flag.Flag) {
-			switch f.Name {
-			case "repro", "cpuprofile", "memprofile":
-			default:
-				conflicts = append(conflicts, "-"+f.Name)
-			}
-		})
-		if len(conflicts) > 0 {
-			fatal(fmt.Errorf("-repro replays the artifact's own configuration; drop %s",
-				strings.Join(conflicts, ", ")))
-		}
 		os.Exit(runRepro(*reproPath))
 	}
 	if *sessions < 1 || *sessions > exp.MaxSessions {
@@ -124,6 +132,13 @@ func main() {
 	if *sessions > 1 {
 		*swarm = true
 	}
+	if *shardSpec != "" {
+		opts = append(opts, voxel.WithShard(shard.Index, shard.Count))
+	}
+	if *checkpointPath != "" && !*stream {
+		// In streaming mode the checkpoint is handed to sweep.Run directly.
+		opts = append(opts, voxel.WithCheckpoint(*checkpointPath, *checkpointEvery))
+	}
 	if *impair != "" {
 		opts = append(opts, voxel.WithImpairment(*impair))
 	}
@@ -166,8 +181,32 @@ func main() {
 		fmt.Printf("failover scenario: primary path dies at %v, second origin takes over\n",
 			exp.FailoverKillTime)
 	}
+	if *shardSpec != "" {
+		fmt.Printf("shard %s: running %d of %d trials\n", shard, shardTrials(shard, *trials), *trials)
+	}
 
-	agg, report, err := voxel.New(*title, opts...).Run()
+	sess := voxel.New(*title, opts...)
+	if *stream {
+		res, err := sweep.Run(sess.Config(), sweep.Options{
+			Checkpoint: *checkpointPath, Every: *checkpointEvery, Stream: true,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if res.Restored > 0 {
+			fmt.Printf("restored %d finished trials from %s (%d run now)\n",
+				res.Restored, *checkpointPath, res.Ran)
+		}
+		fmt.Println()
+		fmt.Print(res.Stream.Summary())
+		if res.Stream.Failed > 0 {
+			stopProfiles()
+			os.Exit(1)
+		}
+		return
+	}
+
+	agg, report, err := sess.Run()
 	if err != nil {
 		fatal(err)
 	}
@@ -181,7 +220,10 @@ func main() {
 	fmt.Printf("%-26s p10=%.4f median=%.4f p90=%.4f\n", metric.String()+" scores:",
 		cdf.Quantile(0.1), cdf.Quantile(0.5), cdf.Quantile(0.9))
 	var skipped, residual, startup []float64
-	for _, t := range agg.Trials {
+	for ti, t := range agg.Trials {
+		if !agg.Config.Owns(ti) {
+			continue // sharded run: unowned slots are zero-valued
+		}
 		skipped = append(skipped, t.Skipped)
 		residual = append(residual, t.Residual)
 		startup = append(startup, t.StartupDelay.Seconds())
@@ -191,15 +233,19 @@ func main() {
 	fmt.Printf("%-26s %.2f s\n", "startup delay (mean):", stats.Mean(startup))
 	if *impair != "" || *failover {
 		var failed float64
-		incomplete := 0
-		for _, t := range agg.Trials {
+		owned, incomplete := 0, 0
+		for ti, t := range agg.Trials {
+			if !agg.Config.Owns(ti) {
+				continue
+			}
+			owned++
 			failed += float64(t.FailedReqs)
 			if !t.Completed {
 				incomplete++
 			}
 		}
-		fmt.Printf("%-26s %.1f\n", "failed requests (mean):", failed/float64(len(agg.Trials)))
-		fmt.Printf("%-26s %d/%d\n", "incomplete trials:", incomplete, len(agg.Trials))
+		fmt.Printf("%-26s %.1f\n", "failed requests (mean):", failed/float64(owned))
+		fmt.Printf("%-26s %d/%d\n", "incomplete trials:", incomplete, owned)
 	}
 
 	if *swarm {
@@ -338,6 +384,63 @@ func exportTelemetry(report *voxel.Report, jsonlPath, csvPath string) error {
 		return err
 	}
 	return write(csvPath, report.WriteCSV)
+}
+
+// validateFlags enforces the cross-flag constraints given the set of flags
+// explicitly present on the command line, and parses the -shard spec. It
+// returns the parsed shard (Unsharded when -shard was not given).
+//
+//   - -repro replays exactly what the artifact describes, so every sweep
+//     flag alongside it (including -shard, -checkpoint, -stream) would be
+//     silently ignored; reject all but the profiling flags. New flags are
+//     conflicts by default — the allowlist names the only exceptions.
+//   - -stream discards per-trial state as it folds, so the flags that need
+//     retained trials (-telemetry and its exports, the -swarm breakdown)
+//     are contradictions, not no-ops.
+//   - -checkpoint-every without -checkpoint silently does nothing; reject.
+func validateFlags(set map[string]bool, shardSpec string) (sweep.Shard, error) {
+	if set["repro"] {
+		var conflicts []string
+		for name := range set {
+			switch name {
+			case "repro", "cpuprofile", "memprofile":
+			default:
+				conflicts = append(conflicts, "-"+name)
+			}
+		}
+		if len(conflicts) > 0 {
+			sort.Strings(conflicts)
+			return sweep.Shard{}, fmt.Errorf(
+				"-repro replays the artifact's own configuration; drop %s",
+				strings.Join(conflicts, ", "))
+		}
+	}
+	if set["stream"] {
+		for _, bad := range []string{"telemetry", "telemetry-out", "telemetry-csv", "swarm"} {
+			if set[bad] {
+				return sweep.Shard{}, fmt.Errorf(
+					"-stream discards per-trial results as it folds them; it cannot honor -%s", bad)
+			}
+		}
+	}
+	if set["checkpoint-every"] && !set["checkpoint"] {
+		return sweep.Shard{}, fmt.Errorf("-checkpoint-every does nothing without -checkpoint")
+	}
+	if shardSpec == "" {
+		return sweep.Shard{}, nil
+	}
+	return sweep.ParseShard(shardSpec)
+}
+
+// shardTrials counts the trials shard s owns out of a total of n.
+func shardTrials(s sweep.Shard, n int) int {
+	owned := 0
+	for ti := 0; ti < n; ti++ {
+		if ti%s.Count == s.Index {
+			owned++
+		}
+	}
+	return owned
 }
 
 func fatal(err error) {

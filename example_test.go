@@ -1,6 +1,7 @@
 package voxel_test
 
 import (
+	"errors"
 	"fmt"
 
 	"voxel"
@@ -29,4 +30,36 @@ func ExampleNew() {
 	// completed: true
 	// segments streamed: 4
 	// telemetry trials: 1
+}
+
+// ExampleTrialError shows typed failed-trial inspection without importing
+// internal packages: a failure surfaced through an error-returning path
+// unwraps to *voxel.TrialError with errors.As. The example injects a panic
+// at trial 1 of 2; the harness isolates it, the other trial completes, and
+// the structured record carries the rule and the trial's derived seed.
+func ExampleTrialError() {
+	agg, _, err := voxel.New("BBB",
+		voxel.WithTrials(2),
+		voxel.WithSegments(3),
+		voxel.WithInject("panic@1"),
+	).Run()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	// Something downstream wraps the failure into a plain error chain…
+	wrapped := fmt.Errorf("campaign had failures: %w", &agg.Failed[0])
+
+	// …and the caller recovers the typed record without string matching.
+	var te *voxel.TrialError
+	if errors.As(wrapped, &te) {
+		fmt.Printf("rule: %s\n", te.Rule)
+		fmt.Printf("trial: %d\n", te.Trial)
+		fmt.Printf("survivors: %d of %d\n", len(agg.BufRatios), len(agg.Trials))
+	}
+	// Output:
+	// rule: panic
+	// trial: 1
+	// survivors: 1 of 2
 }

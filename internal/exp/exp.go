@@ -140,6 +140,16 @@ type Config struct {
 	// trial index — to exercise the failure pipeline end to end. Used by
 	// tests and committed repro artifacts; empty in normal operation.
 	Inject string
+	// ShardIndex/ShardCount partition the trial set across processes:
+	// shard i of n owns the trials whose index ≡ i (mod n) and skips the
+	// rest, leaving their Trial slots zero-valued. Per-trial seeds and
+	// trace shifts depend only on the trial index and the full Trials
+	// count, so every shard computes exactly the trials the unsharded run
+	// would, and MergeShards folds n shard aggregates back into an
+	// aggregate bit-identical to the single-process run. ShardCount 0 (or
+	// 1) means unsharded.
+	ShardIndex int
+	ShardCount int
 }
 
 // MaxSessions caps Config.Sessions: each session costs a full stack, and a
@@ -195,8 +205,32 @@ func (c Config) Validate() error {
 	if _, _, err := parseInject(c.Inject); err != nil {
 		return err
 	}
+	if c.ShardCount < 0 {
+		return fmt.Errorf("exp: shard count %d is negative", c.ShardCount)
+	}
+	if c.ShardCount == 0 && c.ShardIndex != 0 {
+		return fmt.Errorf("exp: shard index %d without a shard count", c.ShardIndex)
+	}
+	if c.ShardCount > 0 && (c.ShardIndex < 0 || c.ShardIndex >= c.ShardCount) {
+		return fmt.Errorf("exp: shard index %d out of range [0, %d)", c.ShardIndex, c.ShardCount)
+	}
 	return nil
 }
+
+// Owns reports whether this config's shard runs the given trial. An
+// unsharded config owns every trial.
+func (c Config) Owns(trial int) bool {
+	if c.ShardCount <= 1 {
+		return true
+	}
+	return trial%c.ShardCount == c.ShardIndex
+}
+
+// WithDefaults returns the config with the experiment layer's uniform
+// defaults applied (system, buffer, queue, trials, seed) — the exact config
+// an Aggregate and its TrialErrors are stamped with. Exported so the sweep
+// engine can fingerprint and re-stamp checkpointed state consistently.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
 
 // sessions resolves the Sessions knob (0 and 1 both mean one session).
 func (c Config) sessions() int {
@@ -438,9 +472,39 @@ func ManifestFor(title string, metric qoe.Metric, segments int) *dash.Manifest {
 // Run executes all trials of a configuration, fanning them out across
 // cfg.Parallelism workers. Trials are independent by construction (each owns
 // its own sim.New world), and results land by trial index, so the aggregate
-// is bit-identical to a sequential run.
+// is bit-identical to a sequential run. A sharded config (ShardCount > 1)
+// runs only its owned trials; the other slots stay zero-valued and the
+// aggregate's samples cover the owned trials only.
 func Run(cfg Config) *Aggregate {
 	return runConfigs([]Config{cfg}, cfg.workers())[0]
+}
+
+// TrialFunc observes one completed trial: its index, its result, and (for a
+// failed trial) the structured error. The harness delivers completions in
+// strictly increasing trial order and one at a time, regardless of how many
+// workers run — so a checkpoint writer or a streaming fold needs no
+// reordering or locking of its own, and order-sensitive accumulations
+// (float sums) stay deterministic at any parallelism.
+type TrialFunc func(trial int, tr Trial, te *TrialError)
+
+// RunPartial runs the trials of cfg that the config's shard owns and that
+// skip does not exclude (nil skips nothing), invoking fn (may be nil) as
+// each completes, in trial order. It returns the raw per-trial results as
+// full-length slices — skipped and unowned slots are zero/nil — ready for
+// the caller to fill from a checkpoint and hand to Assemble. This is the
+// resumable core of exp.Run: Run == Assemble(cfg, RunPartial(cfg, nil, nil)).
+func RunPartial(cfg Config, skip func(trial int) bool, fn TrialFunc) ([]Trial, []*TrialError) {
+	trials, fails := runPlans([]plan{{cfg: cfg, skip: skip, onTrial: fn}}, cfg.workers())
+	return trials[0], fails[0]
+}
+
+// RunStream runs the owned, unskipped trials of cfg without retaining any
+// per-trial state: each result is delivered exactly once to fn (in trial
+// order, serialized) and then dropped, so memory stays bounded no matter
+// how many trials the sweep has. The caller folds results into mergeable
+// summaries (see internal/sweep's streaming mode).
+func RunStream(cfg Config, skip func(trial int) bool, fn TrialFunc) {
+	runPlans([]plan{{cfg: cfg, skip: skip, onTrial: fn, discard: true}}, cfg.workers())
 }
 
 // TrialSeed derives trial j's world seed from the config seed. Exported so
@@ -451,23 +515,73 @@ func TrialSeed(base int64, trial int) int64 { return base + int64(trial)*7919 }
 // job addresses one (config, trial) cell in a batch.
 type job struct{ cfg, trial int }
 
-// runConfigs executes every trial of every configuration through one shared
-// worker pool, so RunMatrix saturates the pool even when individual configs
-// have few trials. Trial results are written into per-config slices by index;
-// aggregation then replays the sequential order exactly.
+// plan is one config's execution request within a batch: which trials to
+// skip beyond shard ownership, a completion callback, and whether to retain
+// per-trial results.
+type plan struct {
+	cfg     Config
+	skip    func(int) bool // nil = skip nothing beyond shard ownership
+	onTrial TrialFunc      // nil = no callback
+	discard bool           // do not retain results (streaming mode)
+}
+
+// delivery sequences one plan's completion callbacks into trial order. Jobs
+// are dispatched to the pool in increasing trial order, so at most
+// `workers` completions can ever be buffered ahead of the cursor — the
+// reorder window is bounded by the pool, not the sweep size.
+type delivery struct {
+	order []int // planned trial indices, increasing
+	next  int   // cursor into order
+	ready map[int]deliverable
+}
+
+type deliverable struct {
+	tr      Trial
+	te      *TrialError
+	skipped bool // interrupted before running; advance past silently
+}
+
+// runConfigs executes plain configs (no skip/callback), the RunMatrix path.
 func runConfigs(cfgs []Config, workers int) []*Aggregate {
-	for i := range cfgs {
-		cfgs[i] = cfgs[i].withDefaults()
+	plans := make([]plan, len(cfgs))
+	for i, c := range cfgs {
+		plans[i] = plan{cfg: c}
 	}
-	trials := make([][]Trial, len(cfgs))
-	fails := make([][]*TrialError, len(cfgs))
+	trials, fails := runPlans(plans, workers)
+	out := make([]*Aggregate, len(cfgs))
+	for ci := range cfgs {
+		out[ci] = Assemble(cfgs[ci], trials[ci], fails[ci])
+	}
+	return out
+}
+
+// runPlans executes every planned trial of every plan through one shared
+// worker pool, so RunMatrix saturates the pool even when individual configs
+// have few trials. Trial results are written into per-plan slices by index
+// (nil slices for discarding plans); completion callbacks fire in trial
+// order under one lock.
+func runPlans(plans []plan, workers int) ([][]Trial, [][]*TrialError) {
+	for i := range plans {
+		plans[i].cfg = plans[i].cfg.withDefaults()
+	}
+	trials := make([][]Trial, len(plans))
+	fails := make([][]*TrialError, len(plans))
+	deliver := make([]*delivery, len(plans))
 	var jobs []job
-	for ci, c := range cfgs {
-		trials[ci] = make([]Trial, c.Trials)
-		fails[ci] = make([]*TrialError, c.Trials)
-		for ti := 0; ti < c.Trials; ti++ {
-			jobs = append(jobs, job{ci, ti})
+	for pi, p := range plans {
+		if !p.discard {
+			trials[pi] = make([]Trial, p.cfg.Trials)
+			fails[pi] = make([]*TrialError, p.cfg.Trials)
 		}
+		d := &delivery{ready: map[int]deliverable{}}
+		for ti := 0; ti < p.cfg.Trials; ti++ {
+			if !p.cfg.Owns(ti) || (p.skip != nil && p.skip(ti)) {
+				continue
+			}
+			jobs = append(jobs, job{pi, ti})
+			d.order = append(d.order, ti)
+		}
+		deliver[pi] = d
 	}
 	interrupted := func(c Config) bool {
 		if c.Interrupt == nil {
@@ -480,9 +594,40 @@ func runConfigs(cfgs []Config, workers int) []*Aggregate {
 			return false
 		}
 	}
+	// deliverMu serializes the in-order callback drain across workers; the
+	// callback itself runs under it, which is what makes TrialFunc's
+	// "serialized, in trial order" contract hold.
+	var deliverMu sync.Mutex
+	complete := func(j job, dl deliverable) {
+		p := plans[j.cfg]
+		if !p.discard {
+			trials[j.cfg][j.trial] = dl.tr
+			fails[j.cfg][j.trial] = dl.te
+		}
+		if p.onTrial == nil {
+			return
+		}
+		deliverMu.Lock()
+		defer deliverMu.Unlock()
+		d := deliver[j.cfg]
+		d.ready[j.trial] = dl
+		for d.next < len(d.order) {
+			ti := d.order[d.next]
+			r, ok := d.ready[ti]
+			if !ok {
+				break
+			}
+			delete(d.ready, ti)
+			d.next++
+			if !r.skipped {
+				p.onTrial(ti, r.tr, r.te)
+			}
+		}
+	}
 	runOne := func(j job) {
-		c := cfgs[j.cfg]
+		c := plans[j.cfg].cfg
 		if interrupted(c) {
+			complete(j, deliverable{skipped: true})
 			return
 		}
 		man := ManifestFor(c.Title, c.Metric, c.Segments)
@@ -490,8 +635,8 @@ func runConfigs(cfgs []Config, workers int) []*Aggregate {
 		if c.Trace != nil && c.Trials > 1 {
 			shift = c.Trace.Duration() * time.Duration(j.trial) / time.Duration(c.Trials)
 		}
-		trials[j.cfg][j.trial], fails[j.cfg][j.trial] =
-			runTrial(c, man, shift, TrialSeed(c.Seed, j.trial), j.trial)
+		tr, te := runTrial(c, man, shift, TrialSeed(c.Seed, j.trial), j.trial)
+		complete(j, deliverable{tr: tr, te: te})
 	}
 	if workers > len(jobs) {
 		workers = len(jobs)
@@ -518,40 +663,71 @@ func runConfigs(cfgs []Config, workers int) []*Aggregate {
 		close(ch)
 		wg.Wait()
 	}
-	out := make([]*Aggregate, len(cfgs))
-	for ci, c := range cfgs {
-		agg := &Aggregate{Config: c, Trials: trials[ci]}
-		for ti, tr := range trials[ci] {
-			if te := fails[ci][ti]; te != nil {
-				// Aggregation runs on one goroutine after the pool drained, so
-				// failures surface in deterministic (config, trial) order and
-				// the hook needs no synchronization of its own.
-				agg.Failed = append(agg.Failed, *te)
-				if FailureHook != nil {
-					FailureHook(te)
-				}
+	return trials, fails
+}
+
+// Assemble folds raw per-trial results into an Aggregate, exactly the way a
+// live run does: samples in trial order (owned trials only), failures in
+// trial order, telemetry merged in (trial, session) order. It is a pure
+// deterministic function of its inputs, which is what makes sharded,
+// checkpointed, and resumed sweeps reproduce a single-process aggregate
+// bit for bit — the raw trial results are identical, and this fold is the
+// same code path. cfg is defaulted before stamping.
+func Assemble(cfg Config, trials []Trial, fails []*TrialError) *Aggregate {
+	return assemble(cfg, trials, fails, true)
+}
+
+// AssembleQuiet is Assemble without the FailureHook side effect, for
+// callers that re-fold results whose failures were already reported when
+// they originally ran (checkpoint restore, shard merge).
+func AssembleQuiet(cfg Config, trials []Trial, fails []*TrialError) *Aggregate {
+	return assemble(cfg, trials, fails, false)
+}
+
+func assemble(cfg Config, trials []Trial, fails []*TrialError, fireHook bool) *Aggregate {
+	c := cfg.withDefaults()
+	agg := &Aggregate{Config: c, Trials: trials}
+	for ti, tr := range trials {
+		if !c.Owns(ti) {
+			continue // an unowned slot is absent, not a zero sample
+		}
+		if ti < len(fails) && fails[ti] != nil {
+			// Aggregation runs on one goroutine after the pool drained, so
+			// failures surface in deterministic (config, trial) order and
+			// the hook needs no synchronization of its own.
+			agg.Failed = append(agg.Failed, *fails[ti])
+			if fireHook && FailureHook != nil {
+				FailureHook(fails[ti])
+			}
+			continue
+		}
+		agg.BufRatios = append(agg.BufRatios, tr.BufRatio)
+		agg.Bitrates = append(agg.Bitrates, tr.AvgBitrate)
+		agg.AllScores = append(agg.AllScores, tr.Scores...)
+	}
+	if c.Telemetry {
+		cells := make([][]*obs.TrialReport, len(trials))
+		for ti := range trials {
+			if !c.Owns(ti) {
 				continue
 			}
-			agg.BufRatios = append(agg.BufRatios, tr.BufRatio)
-			agg.Bitrates = append(agg.Bitrates, tr.AvgBitrate)
-			agg.AllScores = append(agg.AllScores, tr.Scores...)
-		}
-		if c.Telemetry {
-			cells := make([][]*obs.TrialReport, len(trials[ci]))
-			for ti := range trials[ci] {
-				cells[ti] = trials[ci][ti].SessionObs
-				if te := fails[ci][ti]; te != nil && cells[ti] == nil {
-					// A failed trial never snapshotted its scopes; substitute an
-					// explicit failed-marker report so exports keep one entry per
-					// trial instead of silently skipping the slot.
-					cells[ti] = []*obs.TrialReport{obs.FailedTrialReport(te.Clock)}
-				}
+			cells[ti] = trials[ti].SessionObs
+			if ti < len(fails) && fails[ti] != nil && cells[ti] == nil {
+				// A failed trial never snapshotted its scopes; substitute an
+				// explicit failed-marker report so exports keep one entry per
+				// trial instead of silently skipping the slot.
+				cells[ti] = []*obs.TrialReport{obs.FailedTrialReport(fails[ti].Clock)}
 			}
-			agg.Obs = obs.MergeSessions(cells)
 		}
-		out[ci] = agg
+		agg.Obs = obs.MergeSessions(cells)
+		if c.ShardCount > 1 {
+			// Tag per-shard telemetry so shard export files are
+			// self-describing; merged/unsharded reports stay untagged and
+			// their exports keep the canonical byte format.
+			agg.Obs.ShardTag = c.ShardIndex
+		}
 	}
-	return out
+	return agg
 }
 
 // buildPath assembles one server↔client path per the config's shaping

@@ -12,8 +12,8 @@ import (
 // runs each concurrent session records into its own scope, so one trial
 // yields one TrialReport per session, distinguished by Session.
 type TrialReport struct {
-	Trial    int // trial index within the cell; stamped by the harness
-	Session  int // session index within the trial; 0 outside swarm mode
+	Trial    int  // trial index within the cell; stamped by the harness
+	Session  int  // session index within the trial; 0 outside swarm mode
 	Failed   bool // the trial died; this is a placeholder, not a snapshot
 	Counters [NumCounters]uint64
 	Gauges   [NumGauges]int64
@@ -45,6 +45,13 @@ func (r *TrialReport) Dropped() uint64 {
 type Report struct {
 	Trials []*TrialReport
 	Totals [NumCounters]uint64 // counters summed across trials
+	// ShardTag is the shard index this report was produced by, or -1 when
+	// the run was unsharded (or the report is a merged whole). A tagged
+	// report's JSONL/CSV exports carry an extra shard field so per-shard
+	// files are self-describing; an untagged report emits exactly the
+	// pre-shard format, which is what makes a merged export byte-identical
+	// to a single-process run's.
+	ShardTag int
 }
 
 // Merge builds a cell-level report from per-trial reports, stamping each
@@ -65,7 +72,7 @@ func Merge(trials []*TrialReport) *Report {
 // the export is deterministic regardless of worker scheduling. Nil entries
 // are skipped.
 func MergeSessions(trials [][]*TrialReport) *Report {
-	rep := &Report{}
+	rep := &Report{ShardTag: -1}
 	for ti, sessions := range trials {
 		for si, t := range sessions {
 			if t == nil {
@@ -121,7 +128,7 @@ func (r *Report) WriteJSONL(w io.Writer) error {
 	var b []byte
 	for _, t := range r.Trials {
 		for _, ev := range t.Events {
-			b = appendEventJSON(b[:0], t.Trial, t.Session, ev)
+			b = appendEventJSON(b[:0], t.Trial, t.Session, r.ShardTag, ev)
 			if _, err := w.Write(b); err != nil {
 				return err
 			}
@@ -130,11 +137,15 @@ func (r *Report) WriteJSONL(w io.Writer) error {
 	return nil
 }
 
-func appendEventJSON(b []byte, trial, session int, ev Event) []byte {
+func appendEventJSON(b []byte, trial, session, shard int, ev Event) []byte {
 	b = append(b, `{"trial":`...)
 	b = strconv.AppendInt(b, int64(trial), 10)
 	b = append(b, `,"session":`...)
 	b = strconv.AppendInt(b, int64(session), 10)
+	if shard >= 0 {
+		b = append(b, `,"shard":`...)
+		b = strconv.AppendInt(b, int64(shard), 10)
+	}
 	b = append(b, `,"seq":`...)
 	b = strconv.AppendUint(b, ev.Seq, 10)
 	b = append(b, `,"t_ms":`...)
@@ -164,11 +175,19 @@ func (r *Report) WriteCSV(w io.Writer) error {
 	}
 	var sb strings.Builder
 	sb.WriteString("trial,session")
+	tagged := r.ShardTag >= 0
+	if tagged {
+		sb.WriteString(",shard")
+	}
 	for c := Counter(0); c < NumCounters; c++ {
 		sb.WriteByte(',')
 		sb.WriteString(c.String())
 	}
 	sb.WriteString(",failed\n")
+	shardCol := ""
+	if tagged {
+		shardCol = "," + strconv.Itoa(r.ShardTag)
+	}
 	var nfailed uint64
 	row := func(label string, vals *[NumCounters]uint64, failed uint64) {
 		sb.WriteString(label)
@@ -186,9 +205,9 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			f = 1
 			nfailed++
 		}
-		row(strconv.Itoa(t.Trial)+","+strconv.Itoa(t.Session), &t.Counters, f)
+		row(strconv.Itoa(t.Trial)+","+strconv.Itoa(t.Session)+shardCol, &t.Counters, f)
 	}
-	row("total,-", &r.Totals, nfailed)
+	row("total,-"+shardCol, &r.Totals, nfailed)
 	_, err := io.WriteString(w, sb.String())
 	return err
 }

@@ -373,3 +373,77 @@ func TestNameTablesComplete(t *testing.T) {
 		t.Fatal("out-of-range kind name")
 	}
 }
+
+// Shard-tagged reports must carry a shard field in both exports; untagged
+// reports must emit byte-for-byte the same format as before sharding
+// existed — that equality is what lets a merged campaign's exports match an
+// unsharded run's exactly.
+func TestShardTaggedExports(t *testing.T) {
+	build := func() *Report {
+		s := NewScope(nil, Options{TimelineCap: 8})
+		recordWorkload(s)
+		return Merge([]*TrialReport{s.TrialReport()})
+	}
+	plain := build()
+	if plain.ShardTag != -1 {
+		t.Fatalf("MergeSessions must leave reports untagged, got %d", plain.ShardTag)
+	}
+	tagged := build()
+	tagged.ShardTag = 2
+
+	var pj, tj, pc, tc bytes.Buffer
+	if err := plain.WriteJSONL(&pj); err != nil {
+		t.Fatal(err)
+	}
+	if err := tagged.WriteJSONL(&tj); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.WriteCSV(&pc); err != nil {
+		t.Fatal(err)
+	}
+	if err := tagged.WriteCSV(&tc); err != nil {
+		t.Fatal(err)
+	}
+
+	if strings.Contains(pj.String(), `"shard"`) {
+		t.Fatal("untagged JSONL must not carry a shard field")
+	}
+	if strings.Contains(pc.String(), "shard") {
+		t.Fatal("untagged CSV must not carry a shard column")
+	}
+	sc := bufio.NewScanner(&tj)
+	for sc.Scan() {
+		var rec struct {
+			Shard *int `json:"shard"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("tagged JSONL line invalid: %v", err)
+		}
+		if rec.Shard == nil || *rec.Shard != 2 {
+			t.Fatalf("tagged JSONL line missing shard=2: %s", sc.Text())
+		}
+	}
+	lines := strings.Split(strings.TrimSuffix(tc.String(), "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "trial,session,shard,") {
+		t.Fatalf("tagged CSV header missing shard column: %s", lines[0])
+	}
+	for _, ln := range lines[1:] {
+		cols := strings.Split(ln, ",")
+		if cols[2] != "2" {
+			t.Fatalf("tagged CSV row shard column = %q, want 2: %s", cols[2], ln)
+		}
+	}
+
+	// Clearing the tag restores the canonical bytes exactly.
+	tagged.ShardTag = -1
+	var uj, uc bytes.Buffer
+	if err := tagged.WriteJSONL(&uj); err != nil {
+		t.Fatal(err)
+	}
+	if err := tagged.WriteCSV(&uc); err != nil {
+		t.Fatal(err)
+	}
+	if uj.String() != pj.String() || uc.String() != pc.String() {
+		t.Fatal("untagging must restore canonical export bytes")
+	}
+}

@@ -1,0 +1,297 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultSketchAlpha is the relative-error bound a QuantileSketch is built
+// with when the caller does not choose one: quantile estimates are within
+// ±1% of the true sample value.
+const DefaultSketchAlpha = 0.01
+
+// QuantileSketch is a deterministic, mergeable quantile summary with a
+// pinned relative-error bound (a DDSketch-style log-bucketed histogram).
+// Samples are counted into geometric buckets whose width is chosen so that
+// every value in a bucket is within a factor (1+α)/(1-α) of the bucket's
+// representative; Quantile then returns the representative of the bucket
+// holding the exact rank, so for any q:
+//
+//	|Quantile(q) − exact q-quantile| ≤ α · |exact q-quantile|
+//
+// The guarantee is relative, holds for every quantile (not just the
+// middle), and survives Merge: bucket counts add, so merging shard sketches
+// in any order yields the exact sketch of the combined sample — quantiles
+// of a merged sketch are bit-identical to a single sketch fed every sample.
+// Memory is O(log(max/min)/α), independent of the sample count, which is
+// what lets a million-trial sweep aggregate in bounded space.
+//
+// Zero and negative samples are handled exactly (a dedicated zero counter
+// and a mirrored negative bucket map); NaN samples are dropped, like every
+// other stats entry point. The zero value is not usable; build with
+// NewQuantileSketch.
+type QuantileSketch struct {
+	alpha   float64
+	gamma   float64 // (1+α)/(1-α)
+	lnGamma float64
+	count   uint64
+	zeros   uint64
+	pos     map[int]uint64
+	neg     map[int]uint64
+	sum     float64
+	min     float64 // valid when count > 0
+	max     float64
+}
+
+// NewQuantileSketch builds an empty sketch with the given relative-error
+// bound α in (0, 1); α ≤ 0 selects DefaultSketchAlpha. A smaller α costs
+// proportionally more buckets (≈ log(max/min)/α).
+func NewQuantileSketch(alpha float64) *QuantileSketch {
+	if alpha <= 0 || math.IsNaN(alpha) {
+		alpha = DefaultSketchAlpha
+	}
+	if alpha >= 1 {
+		alpha = 0.5
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return &QuantileSketch{
+		alpha:   alpha,
+		gamma:   gamma,
+		lnGamma: math.Log(gamma),
+		pos:     map[int]uint64{},
+		neg:     map[int]uint64{},
+	}
+}
+
+// Alpha returns the sketch's relative-error bound.
+func (s *QuantileSketch) Alpha() float64 { return s.alpha }
+
+// Count returns the number of samples added (NaN excluded).
+func (s *QuantileSketch) Count() uint64 { return s.count }
+
+// Sum returns the running sum of all samples, accumulated in insertion
+// order (exact for a fixed fold order; see the sweep engine's ordering
+// contract).
+func (s *QuantileSketch) Sum() float64 { return s.sum }
+
+// Mean returns Sum/Count, or 0 when empty.
+func (s *QuantileSketch) Mean() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.sum / float64(s.count)
+}
+
+// Min returns the exact minimum sample (0 when empty).
+func (s *QuantileSketch) Min() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the exact maximum sample (0 when empty).
+func (s *QuantileSketch) Max() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// bucketKey maps a positive magnitude to its geometric bucket: key k holds
+// magnitudes in (γ^(k-1), γ^k].
+func (s *QuantileSketch) bucketKey(mag float64) int {
+	return int(math.Ceil(math.Log(mag) / s.lnGamma))
+}
+
+// representative returns the value reported for bucket k: 2γ^k/(γ+1), the
+// point whose worst-case relative distance to any magnitude in the bucket
+// is exactly α.
+func (s *QuantileSketch) representative(key int) float64 {
+	rep := 2 * math.Exp(float64(key)*s.lnGamma) / (s.gamma + 1)
+	if math.IsInf(rep, 1) {
+		// The extreme bucket (clamped ±Inf samples land there) overflows
+		// the exponential; answer with the largest finite magnitude.
+		rep = math.MaxFloat64
+	}
+	return rep
+}
+
+// Add counts one sample. NaN is dropped; ±Inf is clamped into the extreme
+// finite bucket via math.MaxFloat64 so a stray infinity cannot poison the
+// key computation.
+func (s *QuantileSketch) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	if math.IsInf(x, 1) {
+		x = math.MaxFloat64
+	}
+	if math.IsInf(x, -1) {
+		x = -math.MaxFloat64
+	}
+	if s.count == 0 || x < s.min {
+		s.min = x
+	}
+	if s.count == 0 || x > s.max {
+		s.max = x
+	}
+	s.count++
+	s.sum += x
+	switch {
+	case x == 0:
+		s.zeros++
+	case x > 0:
+		s.pos[s.bucketKey(x)]++
+	default:
+		s.neg[s.bucketKey(-x)]++
+	}
+}
+
+// AddAll counts every sample of xs in order.
+func (s *QuantileSketch) AddAll(xs []float64) {
+	for _, x := range xs {
+		s.Add(x)
+	}
+}
+
+// Merge folds other into s. Both sketches must have been built with the
+// same α (the bucket layouts are incompatible otherwise). Bucket counts
+// add, so merging is associative and commutative on every statistic except
+// Sum, which accumulates in merge order (document the order, and the bytes
+// are reproducible).
+func (s *QuantileSketch) Merge(other *QuantileSketch) error {
+	if other == nil || other.count == 0 {
+		return nil
+	}
+	if other.alpha != s.alpha {
+		return fmt.Errorf("stats: sketch alpha mismatch: %v vs %v", s.alpha, other.alpha)
+	}
+	if s.count == 0 || other.min < s.min {
+		s.min = other.min
+	}
+	if s.count == 0 || other.max > s.max {
+		s.max = other.max
+	}
+	s.count += other.count
+	s.zeros += other.zeros
+	s.sum += other.sum
+	for k, n := range other.pos {
+		s.pos[k] += n
+	}
+	for k, n := range other.neg {
+		s.neg[k] += n
+	}
+	return nil
+}
+
+// Quantile returns the q-th quantile estimate (q in [0..1], clamped; NaN q
+// propagates). The returned value is the representative of the bucket
+// containing the exact rank, so it is within a relative α of the true
+// sample quantile; q=0 and q=1 return the exact Min and Max.
+func (s *QuantileSketch) Quantile(q float64) float64 {
+	if math.IsNaN(q) {
+		return math.NaN()
+	}
+	if s.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min()
+	}
+	if q >= 1 {
+		return s.Max()
+	}
+	// 0-based target rank, same convention as Percentile's closest-rank
+	// walk: rank r means "the (r+1)-th smallest sample".
+	rank := uint64(q * float64(s.count-1))
+	var cum uint64
+	// Negative buckets first, most negative (largest magnitude key) down.
+	for _, k := range s.sortedKeys(s.neg, true) {
+		cum += s.neg[k]
+		if cum > rank {
+			return -s.representative(k)
+		}
+	}
+	cum += s.zeros
+	if cum > rank {
+		return 0
+	}
+	for _, k := range s.sortedKeys(s.pos, false) {
+		cum += s.pos[k]
+		if cum > rank {
+			return s.representative(k)
+		}
+	}
+	return s.Max() // counting slack is impossible, but stay defined
+}
+
+// sortedKeys returns the bucket keys in ascending (or descending) order —
+// map iteration order must never leak into a quantile answer.
+func (s *QuantileSketch) sortedKeys(m map[int]uint64, desc bool) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	if desc {
+		for i, j := 0, len(keys)-1; i < j; i, j = i+1, j-1 {
+			keys[i], keys[j] = keys[j], keys[i]
+		}
+	}
+	return keys
+}
+
+// sketchJSON is the stable wire form of a sketch. Maps with integer keys
+// marshal with sorted string keys, so identical sketches produce identical
+// bytes — checkpoint files are reproducible.
+type sketchJSON struct {
+	Alpha float64        `json:"alpha"`
+	Count uint64         `json:"count"`
+	Zeros uint64         `json:"zeros,omitempty"`
+	Sum   float64        `json:"sum"`
+	Min   float64        `json:"min"`
+	Max   float64        `json:"max"`
+	Pos   map[int]uint64 `json:"pos,omitempty"`
+	Neg   map[int]uint64 `json:"neg,omitempty"`
+}
+
+// MarshalJSON encodes the sketch deterministically.
+func (s *QuantileSketch) MarshalJSON() ([]byte, error) {
+	out := sketchJSON{Alpha: s.alpha, Count: s.count, Zeros: s.zeros, Sum: s.sum}
+	if s.count > 0 {
+		out.Min, out.Max = s.min, s.max
+	}
+	if len(s.pos) > 0 {
+		out.Pos = s.pos
+	}
+	if len(s.neg) > 0 {
+		out.Neg = s.neg
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores a sketch written by MarshalJSON.
+func (s *QuantileSketch) UnmarshalJSON(data []byte) error {
+	var in sketchJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	fresh := NewQuantileSketch(in.Alpha)
+	*s = *fresh
+	s.count = in.Count
+	s.zeros = in.Zeros
+	s.sum = in.Sum
+	if in.Count > 0 {
+		s.min, s.max = in.Min, in.Max
+	}
+	for k, n := range in.Pos {
+		s.pos[k] += n
+	}
+	for k, n := range in.Neg {
+		s.neg[k] += n
+	}
+	return nil
+}

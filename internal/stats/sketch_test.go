@@ -1,0 +1,216 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// exactRank mirrors the sketch's closest-rank convention: the q-quantile of
+// a sorted sample is the element at 0-based rank floor(q·(n-1)).
+func exactRank(sorted []float64, q float64) float64 {
+	return sorted[int(q*float64(len(sorted)-1))]
+}
+
+// The headline guarantee: every quantile estimate is within a relative α
+// of the exact sample quantile, across wildly different distributions and
+// both signs. This is the pinned bound DESIGN.md §10 documents.
+func TestQuantileSketchErrorBound(t *testing.T) {
+	const alpha = 0.01
+	rng := rand.New(rand.NewSource(7))
+	dists := map[string]func() float64{
+		"uniform01": func() float64 { return rng.Float64() },
+		"lognormal": func() float64 { return math.Exp(rng.NormFloat64() * 3) },
+		"bitrate":   func() float64 { return 1e5 + rng.Float64()*4e7 },
+		"signed":    func() float64 { return rng.NormFloat64() * 100 },
+		"heavy-zero": func() float64 {
+			if rng.Intn(3) == 0 {
+				return 0
+			}
+			return rng.Float64() * 10
+		},
+	}
+	for name, draw := range dists {
+		t.Run(name, func(t *testing.T) {
+			s := NewQuantileSketch(alpha)
+			xs := make([]float64, 20000)
+			for i := range xs {
+				xs[i] = draw()
+				s.Add(xs[i])
+			}
+			sorted := sortedClean(xs)
+			for _, q := range []float64{0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999} {
+				want := exactRank(sorted, q)
+				got := s.Quantile(q)
+				// Worst case is exactly α; allow float slack for samples that
+				// land on a bucket boundary up to one ulp off the ideal key.
+				tol := alpha*math.Abs(want) + 1e-12
+				if math.Abs(got-want) > tol*(1+1e-9) {
+					t.Errorf("q=%v: got %v want %v (err %v > α·|want| = %v)",
+						q, got, want, math.Abs(got-want), tol)
+				}
+			}
+			if s.Quantile(0) != sorted[0] || s.Quantile(1) != sorted[len(sorted)-1] {
+				t.Errorf("extremes not exact: [%v, %v] vs [%v, %v]",
+					s.Quantile(0), s.Quantile(1), sorted[0], sorted[len(sorted)-1])
+			}
+		})
+	}
+}
+
+// Merging shard sketches must reproduce the whole-sample sketch exactly:
+// identical bucket counts, identical quantiles, regardless of how the
+// sample was split or in which order the parts merge.
+func TestQuantileSketchMergeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 9001)
+	for i := range xs {
+		xs[i] = math.Exp(rng.NormFloat64() * 2)
+	}
+	whole := NewQuantileSketch(0.02)
+	whole.AddAll(xs)
+
+	for _, parts := range []int{2, 4, 7} {
+		shards := make([]*QuantileSketch, parts)
+		for i := range shards {
+			shards[i] = NewQuantileSketch(0.02)
+		}
+		for i, x := range xs {
+			shards[i%parts].Add(x)
+		}
+		// Merge in reverse order to prove order-independence of counts.
+		merged := NewQuantileSketch(0.02)
+		for i := parts - 1; i >= 0; i-- {
+			if err := merged.Merge(shards[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if merged.Count() != whole.Count() {
+			t.Fatalf("parts=%d: count %d vs %d", parts, merged.Count(), whole.Count())
+		}
+		if !reflect.DeepEqual(merged.pos, whole.pos) || !reflect.DeepEqual(merged.neg, whole.neg) ||
+			merged.zeros != whole.zeros {
+			t.Fatalf("parts=%d: merged buckets differ from whole-sample buckets", parts)
+		}
+		for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+			if merged.Quantile(q) != whole.Quantile(q) {
+				t.Fatalf("parts=%d q=%v: merged %v != whole %v",
+					parts, q, merged.Quantile(q), whole.Quantile(q))
+			}
+		}
+	}
+
+	bad := NewQuantileSketch(0.05)
+	if err := bad.Merge(whole); err == nil {
+		t.Fatal("alpha mismatch must refuse to merge")
+	}
+	// Merging an empty or nil sketch is a no-op, not an error.
+	if err := whole.Merge(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := whole.Merge(NewQuantileSketch(0.5)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The wire form must round-trip bit-exactly and be byte-deterministic —
+// checkpoint files diff clean across runs.
+func TestQuantileSketchJSONRoundTrip(t *testing.T) {
+	s := NewQuantileSketch(0.01)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		s.Add(rng.NormFloat64() * 1e6)
+	}
+	s.Add(0)
+	b1, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back QuantileSketch
+	if err := json.Unmarshal(b1, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, s) {
+		t.Fatal("sketch does not round-trip through JSON")
+	}
+	b2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("sketch JSON is not byte-deterministic")
+	}
+	// Empty sketch round-trips too.
+	empty := NewQuantileSketch(0.01)
+	be, err := json.Marshal(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var emptyBack QuantileSketch
+	if err := json.Unmarshal(be, &emptyBack); err != nil {
+		t.Fatal(err)
+	}
+	if emptyBack.Count() != 0 || emptyBack.Quantile(0.5) != 0 {
+		t.Fatal("empty sketch round-trip broken")
+	}
+}
+
+func TestQuantileSketchEdgeCases(t *testing.T) {
+	s := NewQuantileSketch(0.01)
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sketch must answer zeros")
+	}
+	s.Add(math.NaN())
+	if s.Count() != 0 {
+		t.Fatal("NaN must be dropped")
+	}
+	s.Add(math.Inf(1))
+	s.Add(math.Inf(-1))
+	if s.Count() != 2 || math.IsInf(s.Quantile(0.5), 0) || math.IsNaN(s.Quantile(0.5)) {
+		t.Fatalf("infinities must clamp, got q50=%v count=%d", s.Quantile(0.5), s.Count())
+	}
+	if !math.IsNaN(s.Quantile(math.NaN())) {
+		t.Fatal("NaN q must propagate")
+	}
+
+	// All-zero sample: exact at every quantile.
+	z := NewQuantileSketch(0.01)
+	for i := 0; i < 10; i++ {
+		z.Add(0)
+	}
+	for _, q := range []float64{0, 0.3, 0.5, 1} {
+		if z.Quantile(q) != 0 {
+			t.Fatalf("all-zero sample: q%v = %v", q, z.Quantile(q))
+		}
+	}
+
+	// Single sample: exact everywhere within the bound (and Min/Max exact).
+	one := NewQuantileSketch(0.01)
+	one.Add(42)
+	if one.Quantile(0) != 42 || one.Quantile(1) != 42 {
+		t.Fatal("single-sample extremes must be exact")
+	}
+	if got := one.Quantile(0.5); math.Abs(got-42) > 0.01*42 {
+		t.Fatalf("single-sample median %v outside bound", got)
+	}
+
+	// Negative-only sample keeps ordering: q0 is the most negative.
+	n := NewQuantileSketch(0.01)
+	n.AddAll([]float64{-1, -10, -100})
+	if n.Quantile(0) != -100 || n.Quantile(1) != -1 {
+		t.Fatalf("negative extremes wrong: [%v, %v]", n.Quantile(0), n.Quantile(1))
+	}
+	if mid := n.Quantile(0.5); math.Abs(mid-(-10)) > 0.01*10 {
+		t.Fatalf("negative median %v outside bound", mid)
+	}
+
+	// Alpha defaulting.
+	if NewQuantileSketch(0).Alpha() != DefaultSketchAlpha {
+		t.Fatal("alpha <= 0 must default")
+	}
+	if NewQuantileSketch(2).Alpha() != 0.5 {
+		t.Fatal("alpha >= 1 must clamp")
+	}
+}

@@ -1,0 +1,189 @@
+package sweep
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"voxel/internal/exp"
+)
+
+// MergeFiles on a complete classic shard set reproduces the unsharded
+// campaign — and its -out file is byte-identical to the checkpoint a
+// single uninterrupted process writes.
+func TestMergeFilesByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testCfg()
+	cfg.Telemetry = true // exercise report stamping through the file format
+
+	whole := filepath.Join(dir, "whole.json")
+	res, err := Run(cfg, Options{Checkpoint: whole})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wholeBytes, err := os.ReadFile(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var files []string
+	for i := 0; i < 2; i++ {
+		scfg := cfg
+		scfg.ShardIndex, scfg.ShardCount = i, 2
+		scfg.Parallelism = 2
+		p := filepath.Join(dir, "shard"+string(rune('0'+i))+".json")
+		if _, err := Run(scfg, Options{Checkpoint: p}); err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, p)
+	}
+
+	// Argument order must not matter.
+	m, err := MergeFiles([]string{files[1], files[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Agg, res.Agg) {
+		t.Fatal("merged aggregate differs from the unsharded run")
+	}
+	merged := filepath.Join(dir, "merged.json")
+	if err := m.WriteFile(merged); err != nil {
+		t.Fatal(err)
+	}
+	mergedBytes, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mergedBytes, wholeBytes) {
+		t.Fatal("merged checkpoint bytes differ from the single-process file")
+	}
+
+	// A lone unsharded file merges to itself, byte for byte.
+	self, err := MergeFiles([]string{whole})
+	if err != nil {
+		t.Fatal(err)
+	}
+	round := filepath.Join(dir, "round.json")
+	if err := self.WriteFile(round); err != nil {
+		t.Fatal(err)
+	}
+	roundBytes, err := os.ReadFile(round)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(roundBytes, wholeBytes) {
+		t.Fatal("unsharded file does not round-trip byte-identically through MergeFiles")
+	}
+}
+
+// Streaming shard files merge to the unsharded streaming aggregate on
+// every statistic the sketch pins (counts, min/max, quantiles); the merged
+// file itself is deterministic across merge invocations.
+func TestMergeFilesStream(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testCfg()
+
+	whole := filepath.Join(dir, "whole.json")
+	res, err := Run(cfg, Options{Checkpoint: whole, Stream: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var files []string
+	for i := 0; i < 2; i++ {
+		scfg := cfg
+		scfg.ShardIndex, scfg.ShardCount = i, 2
+		p := filepath.Join(dir, "shard"+string(rune('0'+i))+".json")
+		if _, err := Run(scfg, Options{Checkpoint: p, Stream: true}); err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, p)
+	}
+
+	m, err := MergeFiles([]string{files[1], files[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stream == nil || m.Agg != nil {
+		t.Fatal("stream merge should produce a StreamAgg, not an Aggregate")
+	}
+	got, want := m.Stream, res.Stream
+	if got.Trials != want.Trials || got.Failed != want.Failed || got.Scores != want.Scores {
+		t.Fatalf("merged counters %d/%d/%d, want %d/%d/%d",
+			got.Trials, got.Failed, got.Scores, want.Trials, want.Failed, want.Scores)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if got.BufRatio.Quantile(q) != want.BufRatio.Quantile(q) ||
+			got.Bitrate.Quantile(q) != want.Bitrate.Quantile(q) ||
+			got.Score.Quantile(q) != want.Score.Quantile(q) {
+			t.Fatalf("merged quantile q=%v differs from the unsharded sketch", q)
+		}
+	}
+
+	// Two merges of the same files write the same bytes.
+	a, b := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	if err := m.WriteFile(a); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := MergeFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.WriteFile(b); err != nil {
+		t.Fatal(err)
+	}
+	ab, _ := os.ReadFile(a)
+	bb, _ := os.ReadFile(b)
+	if !bytes.Equal(ab, bb) {
+		t.Fatal("merging the same shard files twice wrote different bytes")
+	}
+}
+
+func TestMergeFilesErrors(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testCfg()
+
+	shardFile := func(name string, scfg exp.Config, stream bool) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if _, err := Run(scfg, Options{Checkpoint: p, Stream: stream}); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	s0 := cfg
+	s0.ShardIndex, s0.ShardCount = 0, 2
+	s1 := cfg
+	s1.ShardIndex, s1.ShardCount = 1, 2
+	other := s1
+	other.Seed = 99
+	f0 := shardFile("s0.json", s0, false)
+	f1 := shardFile("s1.json", s1, false)
+	whole := shardFile("whole.json", cfg, false)
+	drift := shardFile("drift.json", other, false)
+	stream0 := shardFile("stream0.json", s0, true)
+
+	cases := []struct {
+		name  string
+		files []string
+		want  string
+	}{
+		{"empty", nil, "no checkpoint files"},
+		{"missing shard", []string{f0}, "shard count is 2 but 1 files"},
+		{"duplicate shard", []string{f0, f0}, "both shard"},
+		{"extra file with unsharded", []string{whole, f0}, "unsharded but 2 files"},
+		{"fingerprint drift", []string{f0, drift}, "different experiment"},
+		{"mode mix", []string{stream0, f1}, "mixes streaming and classic"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := MergeFiles(tc.files)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got err %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}

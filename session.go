@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"voxel/internal/exp"
+	"voxel/internal/sweep"
 )
 
 // Session is a configured streaming experiment: the public entry point.
@@ -21,9 +22,11 @@ import (
 // immutable after New and safe to Run multiple times (each Run executes the
 // full trial set again, deterministically).
 type Session struct {
-	cfg Config
-	ctx context.Context
-	err error // first option error, surfaced by Run
+	cfg     Config
+	ctx     context.Context
+	ckPath  string // checkpoint file; "" disables checkpoint/resume
+	ckEvery int    // checkpoint every N completed trials (default 1)
+	err     error  // first option error, surfaced by Run
 }
 
 // Option configures a Session.
@@ -182,6 +185,36 @@ func WithWatchdog(wall time.Duration, events uint64) Option {
 	}
 }
 
+// WithShard makes the session run shard index of a count-way campaign: it
+// executes only the trials whose index ≡ index (mod count), leaving the
+// other slots of the aggregate zero-valued. Trial seeds and trace shifts
+// depend only on the trial index and the full trial count, so running
+// every shard (in separate processes, on separate machines) and folding
+// the aggregates with MergeAggregates reproduces the unsharded run
+// bit for bit. index outside [0, count) fails Run with ErrInvalidConfig.
+func WithShard(index, count int) Option {
+	return func(s *Session) {
+		s.cfg.ShardIndex = index
+		s.cfg.ShardCount = count
+	}
+}
+
+// WithCheckpoint persists completed-trial state to path after every
+// `every` completed trials (≤ 0 means after every trial). Each write is
+// atomic (temp file + fsync + rename), so a crash or SIGKILL at any
+// instant leaves a complete checkpoint on disk; a subsequent Run pointed
+// at the same path restores the finished trials, recomputes nothing, and
+// produces the aggregate of an uninterrupted run. A checkpoint written by
+// a different configuration (fingerprint mismatch) fails Run rather than
+// being silently overwritten. The final checkpoint of a finished run is
+// the shard's output file, consumable by `voxel-merge`.
+func WithCheckpoint(path string, every int) Option {
+	return func(s *Session) {
+		s.ckPath = path
+		s.ckEvery = every
+	}
+}
+
 // WithInject schedules a deliberate fault inside the trial world ("panic",
 // "invariant", or "spin", optionally "@trial") to exercise the failure
 // pipeline end to end. Meant for tests and repro artifacts.
@@ -217,7 +250,16 @@ func (s *Session) Run() (*Aggregate, *Report, error) {
 		}
 		cfg.Interrupt = s.ctx.Done()
 	}
-	agg := exp.Run(cfg)
+	var agg *Aggregate
+	if s.ckPath != "" {
+		res, err := sweep.Run(cfg, sweep.Options{Checkpoint: s.ckPath, Every: s.ckEvery})
+		if err != nil {
+			return nil, nil, err
+		}
+		agg = res.Agg
+	} else {
+		agg = exp.Run(cfg)
+	}
 	if s.ctx != nil && s.ctx.Err() != nil {
 		return agg, agg.Obs, s.ctx.Err()
 	}

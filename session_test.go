@@ -3,52 +3,24 @@ package voxel
 import (
 	"context"
 	"errors"
+	"path/filepath"
 	"reflect"
 	"testing"
 )
 
-// The deprecated Stream wrapper and the Session API must produce identical
-// aggregates for equivalent inputs — Stream is a thin shim, not a fork.
-func TestStreamSessionEquivalence(t *testing.T) {
-	tr, err := LoadTrace("verizon")
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg := Config{
-		Title: "BBB", System: VOXEL, Trace: tr,
-		BufferSegments: 2, Trials: 2, Segments: 4,
-	}
-	fromStream, err := Stream(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	fromSession, rep, err := New("BBB",
-		WithSystem(VOXEL),
-		WithTrace(tr),
-		WithBuffer(2),
-		WithTrials(2),
-		WithSegments(4),
-	).Run()
+// The System default (VOXEL) is applied uniformly by the experiment layer,
+// for both execution paths: a plain Session run and one routed through the
+// sweep engine by WithCheckpoint.
+func TestDefaultSystemUniform(t *testing.T) {
+	a, rep, err := New("BBB", WithTrials(1), WithSegments(3)).Run()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep != nil {
 		t.Fatal("telemetry report without WithTelemetry")
 	}
-	if !reflect.DeepEqual(fromStream.Trials, fromSession.Trials) {
-		t.Fatalf("Stream and Session.Run diverge:\n%+v\nvs\n%+v",
-			fromStream.Trials, fromSession.Trials)
-	}
-}
-
-// The System default (VOXEL) is applied uniformly by the experiment layer,
-// for both entry points.
-func TestDefaultSystemUniform(t *testing.T) {
-	a, err := Stream(Config{Title: "BBB", Trials: 1, Segments: 3})
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, _, err := New("BBB", WithTrials(1), WithSegments(3)).Run()
+	b, _, err := New("BBB", WithTrials(1), WithSegments(3),
+		WithCheckpoint(filepath.Join(t.TempDir(), "ck.json"), 1)).Run()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +29,7 @@ func TestDefaultSystemUniform(t *testing.T) {
 			a.Config.System, b.Config.System, VOXEL)
 	}
 	if !reflect.DeepEqual(a.Trials, b.Trials) {
-		t.Fatal("defaulted runs diverge between Stream and Session")
+		t.Fatal("defaulted runs diverge between the plain and checkpointed paths")
 	}
 }
 
@@ -74,11 +46,11 @@ func TestSessionTypedErrors(t *testing.T) {
 	if _, _, err := New("BBB", WithImpairment("hurricane")).Run(); !errors.Is(err, ErrInvalidConfig) {
 		t.Fatalf("unknown impairment: got %v, want ErrInvalidConfig", err)
 	}
-	if _, err := Stream(Config{Title: "NotATitle"}); !errors.Is(err, ErrUnknownTitle) {
-		t.Fatalf("Stream unknown title: got %v, want ErrUnknownTitle", err)
+	if _, _, err := New("BBB", WithShard(4, 4)).Run(); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("shard index out of range: got %v, want ErrInvalidConfig", err)
 	}
-	if _, err := Stream(Config{}); !errors.Is(err, ErrInvalidConfig) {
-		t.Fatalf("Stream missing title: got %v, want ErrInvalidConfig", err)
+	if _, _, err := New("BBB", WithShard(1, 0)).Run(); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("shard index without count: got %v, want ErrInvalidConfig", err)
 	}
 	if _, err := LoadVideo("nope"); !errors.Is(err, ErrUnknownTitle) {
 		t.Fatalf("LoadVideo: got %v, want ErrUnknownTitle", err)
@@ -139,5 +111,65 @@ func TestClipFromAggregateEmptyGuard(t *testing.T) {
 	empty := RunSurvey(10, 1, ClipFromAggregate(nil), ClipFromAggregate(&Aggregate{}))
 	if empty.PreferB != empty.PreferB {
 		t.Fatal("empty-clip survey outcome is NaN")
+	}
+}
+
+// The public sharding surface end to end: shard Sessions, merge with
+// MergeAggregates, land exactly on the unsharded run.
+func TestSessionShardMerge(t *testing.T) {
+	build := func(opts ...Option) *Session {
+		base := []Option{WithTraceName("tmobile"), WithTrials(4),
+			WithSegments(4), WithTelemetry()}
+		return New("BBB", append(base, opts...)...)
+	}
+	whole, _, err := build().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shards []*Aggregate
+	for i := 0; i < 2; i++ {
+		agg, _, err := build(WithShard(i, 2), WithParallelism(2)).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, agg)
+	}
+	merged, err := MergeAggregates(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged, whole) {
+		t.Fatal("MergeAggregates does not reproduce the unsharded session run")
+	}
+	if _, err := MergeAggregates(shards[:1]); err == nil {
+		t.Fatal("incomplete shard set must not merge")
+	}
+}
+
+// WithCheckpoint: a rerun restores from the file and reproduces the same
+// aggregate; a mismatched config refuses the file.
+func TestSessionCheckpointResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	build := func(opts ...Option) *Session {
+		base := []Option{WithTraceName("tmobile"), WithTrials(3), WithSegments(4)}
+		return New("BBB", append(base, opts...)...)
+	}
+	plain, _, err := build().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _, err := build(WithCheckpoint(path, 1)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, _, err := build(WithCheckpoint(path, 1)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, plain) || !reflect.DeepEqual(resumed, plain) {
+		t.Fatal("checkpointed/resumed aggregates differ from the plain run")
+	}
+	if _, _, err := build(WithSeed(99), WithCheckpoint(path, 1)).Run(); err == nil {
+		t.Fatal("checkpoint from a different config must be refused")
 	}
 }

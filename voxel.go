@@ -41,8 +41,20 @@ type (
 	// SessionResult is one session's summary within a swarm-mode Trial
 	// (see WithSessions).
 	SessionResult = exp.SessionResult
-	// TrialError is the structured failure record of one trial (recovered
-	// panic, invariant violation, or watchdog budget); see Aggregate.Failed.
+	// TrialError is the structured failure record of one trial: a
+	// recovered panic, a cross-layer invariant violation, or a breached
+	// watchdog budget. The failing trial's slot in Aggregate.Trials stays
+	// zero-valued with Failed set, the error lands in Aggregate.Failed (in
+	// trial order), and the other trials of the sweep finish untouched.
+	// Each record carries the post-defaulting Config, the trial index and
+	// derived per-trial Seed, the swarm Session under construction (-1 once
+	// the event loop was running), the virtual Clock at death, a Rule
+	// classifying the failure ("panic", "error", "watchdog.wall-budget",
+	// "watchdog.event-budget", or an invariant rule such as
+	// "quic.byte-conservation"), the message, and the goroutine Stack for
+	// panics. It implements error, so a failed trial surfaced through any
+	// error-returning path can be inspected with errors.As — see
+	// ExampleTrialError.
 	TrialError = exp.TrialError
 	// Clip is the clip-statistics input to RunSurvey.
 	Clip = survey.Clip
@@ -148,18 +160,20 @@ func DropTolerance(v *Video, q Quality, target float64) []float64 {
 	return out
 }
 
-// Stream runs a full streaming experiment (all trials) and returns the
-// aggregate. Defaults (System = VOXEL, buffer, trials, seed) are applied
-// uniformly by the experiment layer, identically to Session.Run.
-//
-// Deprecated: use New(title, opts...).Run(), which also returns the
-// telemetry report and accepts a context. Stream remains as a thin wrapper
-// and produces aggregates identical to an option-equivalent Session.
-func Stream(cfg Config) (*Aggregate, error) {
-	if err := validateConfig(cfg); err != nil {
-		return nil, err
-	}
-	return exp.Run(cfg), nil
+// MergeAggregates folds the aggregates of a complete shard set (every
+// shard of one campaign, each produced by a Session run with WithShard or
+// a `voxel-sim -shard i/n` process) back into the aggregate the equivalent
+// unsharded run would have produced, bit for bit: per-trial seeds and
+// trace shifts depend only on the trial index and the full trial count,
+// never on which shard ran the trial, so re-slotting the shards' results
+// and re-folding reproduces the single-process output exactly (only the
+// run-specific Stack text of failure records can differ). The merged
+// aggregate's Config is normalized — shard coordinates, parallelism, and
+// interrupt plumbing cleared. A single unsharded aggregate merges to
+// itself. Incomplete, overlapping, or configuration-mismatched shard sets
+// return an error.
+func MergeAggregates(shards []*Aggregate) (*Aggregate, error) {
+	return exp.MergeShards(shards)
 }
 
 // ImpairmentProfiles lists the canonical netem fault profiles accepted by

@@ -53,27 +53,26 @@ func TestDropToleranceFacade(t *testing.T) {
 	}
 }
 
-func TestStreamFacade(t *testing.T) {
+func TestSessionFacade(t *testing.T) {
 	tr, _ := LoadTrace("verizon")
-	agg, err := Stream(Config{
-		Title:          "BBB",
-		System:         VOXEL,
-		Trace:          tr,
-		BufferSegments: 2,
-		Trials:         1,
-		Segments:       4,
-	})
+	agg, _, err := New("BBB",
+		WithSystem(VOXEL),
+		WithTrace(tr),
+		WithBuffer(2),
+		WithTrials(1),
+		WithSegments(4),
+	).Run()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(agg.Trials) != 1 || !agg.Trials[0].Completed {
-		t.Fatal("stream did not complete")
+		t.Fatal("session run did not complete")
 	}
 	sum := Summarize(agg.BufRatios)
 	if sum.N != 1 {
 		t.Fatal("summary wrong")
 	}
-	if _, err := Stream(Config{}); err == nil {
+	if _, _, err := New("").Run(); err == nil {
 		t.Fatal("missing title should fail")
 	}
 }
@@ -88,8 +87,8 @@ func TestSurveyFacade(t *testing.T) {
 
 func TestClipFromAggregate(t *testing.T) {
 	tr, _ := LoadTrace("3g")
-	agg, err := Stream(Config{Title: "ToS", System: BOLA, Trace: tr,
-		BufferSegments: 1, Trials: 1, Segments: 4})
+	agg, _, err := New("ToS", WithSystem(BOLA), WithTrace(tr),
+		WithBuffer(1), WithTrials(1), WithSegments(4)).Run()
 	if err != nil {
 		t.Fatal(err)
 	}
