@@ -1,0 +1,75 @@
+// Package analysis is voxel-vet: a static-analysis suite that enforces,
+// at compile time, the contracts the repo's results rest on and that were
+// previously guarded only by runtime tests —
+//
+//   - determinism: sim-reachable packages must not read wall clocks,
+//     process environment, or the global math/rand stream, and must not
+//     iterate maps in an order-dependent way (bit-identical aggregates
+//     across parallelism and shards depend on this);
+//   - nilfree: the obs/invariant nil-is-free contract — every exported
+//     method on a nil-is-free type begins with a nil-receiver guard, and
+//     callers never re-guard (the re-guard is dead code by contract);
+//   - poolpair: values obtained from a freelist or sync.Pool getter must
+//     be released through the matching put or handed off, never dropped;
+//   - hotpath: functions annotated //voxel:allocfree reject constructs
+//     known to allocate (fmt calls, capturing closures, value-to-interface
+//     boxing, appends that can grow a fresh backing array).
+//
+// The suite is intentionally self-contained: it runs on the standard
+// library's go/parser + go/types with the "source" importer, so the
+// module stays dependency-free. The API mirrors golang.org/x/tools'
+// go/analysis in miniature (Analyzer, Pass, Diagnostic, want-comment
+// tests) without importing it.
+//
+// # Directives
+//
+//   - //voxel:allocfree          (func doc)  — arm the hotpath analyzer
+//   - //voxel:nilfree            (type doc)  — arm the nilfree analyzer
+//   - //voxel:pool-get put=f,g   (func doc)  — declare a pool getter and
+//     its release functions for the poolpair analyzer
+//   - //voxel:det-ok <reason>    (same line or line above) — waive one
+//     determinism diagnostic; the reason is mandatory and should say why
+//     wall-clock or unsorted iteration is sound at that site
+package analysis
+
+// SuiteVersion participates in voxel-vet's fact-cache key: bump it
+// whenever an analyzer's rules change so stale cached diagnostics are
+// never replayed against new rules.
+const SuiteVersion = "voxel-vet-1"
+
+// Analyzers returns the full suite in deterministic order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		NilFreeAnalyzer,
+		PoolPairAnalyzer,
+		HotPathAnalyzer,
+	}
+}
+
+// DeterministicPackages lists the sim-reachable import paths the
+// determinism analyzer gates. Everything a trial world touches between
+// seed and aggregate must be here; packages outside the list may use
+// wall clocks freely (profiling, CLI glue).
+var DeterministicPackages = []string{
+	"voxel/internal/sim",
+	"voxel/internal/netem",
+	"voxel/internal/quic",
+	"voxel/internal/httpsim",
+	"voxel/internal/player",
+	"voxel/internal/abr",
+	"voxel/internal/cc",
+	"voxel/internal/exp",
+	"voxel/internal/sweep",
+	"voxel/internal/obs",
+	"voxel/internal/stats",
+}
+
+// knownNilFree names the nil-is-free types enforced across package
+// boundaries. Same-package code can instead annotate a type with
+// //voxel:nilfree; this list exists because an annotation in package obs
+// is invisible to a caller-side pass over package quic.
+var knownNilFree = map[string]bool{
+	"voxel/internal/obs.Scope":        true,
+	"voxel/internal/invariant.Checker": true,
+}

@@ -1,0 +1,282 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NilFreeAnalyzer enforces both sides of the nil-is-free contract
+// (DESIGN.md §6, §9): for a type annotated //voxel:nilfree (or on the
+// built-in cross-package list — obs.Scope, invariant.Checker),
+//
+//   - every exported pointer-receiver method must begin with a
+//     nil-receiver guard, so a nil handle is the disabled state at zero
+//     cost; and
+//   - callers must not wrap calls on such a value in their own nil
+//     check — the re-guard is dead code that misleads readers into
+//     thinking the nil case is *not* handled by the callee, and it is
+//     exactly the pattern that rots into a real bug when someone copies
+//     it around a method that was never nil-safe.
+//
+// Accepted guard shapes: a leading `if recv == nil { return ... }` (the
+// condition may OR in more cases, as invariant.Check's `c == nil || ok`
+// does), or a single-statement body returning a comparison of the
+// receiver against nil (the Enabled() shape).
+var NilFreeAnalyzer = &Analyzer{
+	Name: "nilfree",
+	Doc:  "nil-is-free types: exported methods guard a nil receiver; callers never re-guard",
+	Run:  runNilFree,
+}
+
+func runNilFree(pass *Pass) {
+	annotated := annotatedNilFree(pass)
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMethodGuard(pass, fd, annotated)
+			checkCallerReguard(pass, fd, annotated)
+		}
+	}
+}
+
+// annotatedNilFree collects the nil-is-free type names declared in this
+// package via //voxel:nilfree, keyed pkgpath.Name like knownNilFree.
+func annotatedNilFree(pass *Pass) map[string]bool {
+	out := map[string]bool{}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts := spec.(*ast.TypeSpec)
+				if _, ok := docHasDirective(ts.Doc, "nilfree"); !ok {
+					if _, ok := docHasDirective(gd.Doc, "nilfree"); !ok {
+						continue
+					}
+				}
+				out[pass.Pkg.Types.Path()+"."+ts.Name.Name] = true
+			}
+		}
+	}
+	return out
+}
+
+// isNilFreeType reports whether typ is a pointer to a nil-is-free named
+// type (annotated in this package or on the built-in list).
+func isNilFreeType(typ types.Type, annotated map[string]bool) (string, bool) {
+	named := namedPtrElem(typ)
+	if named == nil {
+		return "", false
+	}
+	key := typeKey(named)
+	if annotated[key] || knownNilFree[key] {
+		return key, true
+	}
+	return "", false
+}
+
+// --- method side ---
+
+func checkMethodGuard(pass *Pass, fd *ast.FuncDecl, annotated map[string]bool) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || !fd.Name.IsExported() {
+		return
+	}
+	recvType := pass.Pkg.Info.TypeOf(fd.Recv.List[0].Type)
+	key, ok := isNilFreeType(recvType, annotated)
+	if !ok {
+		return
+	}
+	var recvObj types.Object
+	if names := fd.Recv.List[0].Names; len(names) == 1 {
+		recvObj = pass.Pkg.Info.Defs[names[0]]
+	}
+	if recvObj == nil {
+		pass.Reportf(fd.Pos(), "exported method %s.%s on nil-is-free type %s has an unnamed receiver and so cannot guard nil", pass.Pkg.Name, fd.Name.Name, key)
+		return
+	}
+	if hasLeadingNilGuard(pass, fd.Body, recvObj) {
+		return
+	}
+	pass.Reportf(fd.Pos(), "exported method %s on nil-is-free type %s must begin with a nil-receiver guard (if %s == nil { return ... })", fd.Name.Name, key, recvObj.Name())
+}
+
+// hasLeadingNilGuard accepts the two canonical guard shapes.
+func hasLeadingNilGuard(pass *Pass, body *ast.BlockStmt, recv types.Object) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	switch first := body.List[0].(type) {
+	case *ast.IfStmt:
+		// `if recv == nil { ... }` possibly OR-ed with further cases; the
+		// branch must leave the method (return or panic counts — a
+		// nil-is-free type may still choose to treat nil as a bug).
+		if first.Init == nil && condComparesNil(pass, first.Cond, recv) && branchExits(first.Body) {
+			return true
+		}
+	case *ast.ReturnStmt:
+		// `return recv != nil` / `return recv == nil` (the Enabled shape),
+		// or any return whose expression compares the receiver to nil.
+		for _, r := range first.Results {
+			ok := false
+			ast.Inspect(r, func(n ast.Node) bool {
+				if b, is := n.(*ast.BinaryExpr); is && binaryComparesNil(pass, b, recv) {
+					ok = true
+				}
+				return !ok
+			})
+			if ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// condComparesNil reports whether the condition contains `recv == nil`
+// as a top-level || operand.
+func condComparesNil(pass *Pass, cond ast.Expr, recv types.Object) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if e.Op == token.LOR {
+			return condComparesNil(pass, e.X, recv) || condComparesNil(pass, e.Y, recv)
+		}
+		return e.Op == token.EQL && binaryComparesNil(pass, e, recv)
+	}
+	return false
+}
+
+func binaryComparesNil(pass *Pass, b *ast.BinaryExpr, recv types.Object) bool {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return false
+	}
+	isRecv := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.Pkg.Info.Uses[id] == recv
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		_, isNilConst := pass.Pkg.Info.Uses[id].(*types.Nil)
+		return isNilConst
+	}
+	return (isRecv(b.X) && isNil(b.Y)) || (isNil(b.X) && isRecv(b.Y))
+}
+
+// branchExits reports whether a guard body unconditionally leaves the
+// function.
+func branchExits(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+// --- caller side ---
+
+// checkCallerReguard flags `if x != nil { x.M() }` where x is a
+// nil-is-free pointer and the guarded body uses x only as a method-call
+// receiver: every such call is already nil-safe, so the guard is dead.
+// Field accesses or dereferences of x inside the body keep the guard
+// legitimate and mute the check.
+func checkCallerReguard(pass *Pass, fd *ast.FuncDecl, annotated map[string]bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Init != nil || ifs.Else != nil {
+			return true
+		}
+		obj, key := reguardedObject(pass, ifs.Cond, annotated)
+		if obj == nil {
+			return true
+		}
+		if methodOnlyUses(pass, ifs.Body, obj) {
+			pass.Reportf(ifs.Pos(), "redundant nil guard: %s is nil-is-free (%s), so the guarded calls already no-op on nil", obj.Name(), key)
+		}
+		return true
+	})
+}
+
+// reguardedObject matches conditions of the form `x != nil` (alone),
+// where x is a plain variable or a field selector of nil-is-free pointer
+// type, and returns the object naming x (the variable, or the field).
+func reguardedObject(pass *Pass, cond ast.Expr, annotated map[string]bool) (types.Object, string) {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || b.Op != token.NEQ {
+		return nil, ""
+	}
+	if id, ok := ast.Unparen(b.Y).(*ast.Ident); !ok {
+		return nil, ""
+	} else if _, isNil := pass.Pkg.Info.Uses[id].(*types.Nil); !isNil {
+		return nil, ""
+	}
+	var obj types.Object
+	switch operand := ast.Unparen(b.X).(type) {
+	case *ast.Ident:
+		obj = pass.Pkg.Info.Uses[operand]
+	case *ast.SelectorExpr:
+		obj = pass.Pkg.Info.Uses[operand.Sel]
+	}
+	if obj == nil {
+		return nil, ""
+	}
+	key, isNF := isNilFreeType(obj.Type(), annotated)
+	if !isNF {
+		return nil, ""
+	}
+	return obj, key
+}
+
+// methodOnlyUses reports whether every use of obj inside body is as the
+// receiver of a method call, with at least one such call present. obj
+// may name a plain variable (x.M()) or a struct field (c.x.M()).
+func methodOnlyUses(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	calls := 0
+	clean := true
+	walkStack(body, func(n ast.Node, stack []ast.Node) {
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.Pkg.Info.Uses[id] != obj {
+			return
+		}
+		// Plain variable: ident → SelectorExpr (method) → CallExpr.Fun.
+		// Field: ident is p.Sel of a field selector p, then p →
+		// SelectorExpr (method) → CallExpr.Fun.
+		if len(stack) >= 2 {
+			recv := ast.Node(id)
+			top := len(stack)
+			if p, ok := stack[top-1].(*ast.SelectorExpr); ok && p.Sel == id {
+				recv = p
+				top--
+			}
+			if top >= 2 {
+				if sel, ok := stack[top-1].(*ast.SelectorExpr); ok && sel.X == recv {
+					if s, found := pass.Pkg.Info.Selections[sel]; found && s.Kind() == types.MethodVal {
+						if call, ok := stack[top-2].(*ast.CallExpr); ok && call.Fun == sel {
+							calls++
+							return
+						}
+					}
+				}
+			}
+		}
+		clean = false
+	})
+	return clean && calls > 0
+}

@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PoolPairAnalyzer enforces the pooling contract from the zero-allocation
+// hot paths (DESIGN.md §8): a value obtained from a pool getter must not
+// be dropped on the floor. Two kinds of getter are recognized:
+//
+//   - (*sync.Pool).Get, paired with (*sync.Pool).Put; and
+//   - package functions/methods annotated `//voxel:pool-get put=f,g`,
+//     naming the release functions (the repo's freelists: allocSent /
+//     releaseSent, allocFrame / freeFrame, getErrs / putErrs, ...).
+//
+// The check is deliberately an under-approximation that never cries
+// wolf: a pooled value counts as accounted for once it is released,
+// returned, stored, aliased, captured, or handed to any call — transfer
+// of ownership is invisible to an intra-function pass, so any handoff is
+// trusted. What it flags is the unambiguous leak: a Get whose result is
+// discarded, bound to _, or used only through field reads and writes
+// before every return path abandons it.
+var PoolPairAnalyzer = &Analyzer{
+	Name: "poolpair",
+	Doc:  "pool/freelist Get results must be released via the matching Put or handed off",
+	Run:  runPoolPair,
+}
+
+// poolGetter describes one recognized getter within the package.
+type poolGetter struct {
+	name string   // display name for diagnostics
+	puts []string // names of release functions
+}
+
+func runPoolPair(pass *Pass) {
+	getters := annotatedGetters(pass)
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkPoolUses(pass, fd, getters)
+			}
+		}
+	}
+}
+
+// annotatedGetters maps the *types.Func of each //voxel:pool-get
+// annotated function in this package to its declared release names.
+func annotatedGetters(pass *Pass) map[*types.Func]poolGetter {
+	out := map[*types.Func]poolGetter{}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			payload, ok := docHasDirective(fd.Doc, "pool-get")
+			if !ok {
+				continue
+			}
+			fn, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			g := poolGetter{name: fd.Name.Name}
+			for _, field := range strings.Fields(payload) {
+				if rest, found := strings.CutPrefix(field, "put="); found {
+					for _, p := range strings.Split(rest, ",") {
+						if p = strings.TrimSpace(p); p != "" {
+							g.puts = append(g.puts, p)
+						}
+					}
+				}
+			}
+			if len(g.puts) == 0 {
+				pass.Reportf(fd.Pos(), "//voxel:pool-get on %s names no release function (write put=<name>)", fd.Name.Name)
+				continue
+			}
+			out[fn] = g
+		}
+	}
+	return out
+}
+
+// asPoolGet classifies a call as a pool acquisition and returns the
+// getter description.
+func asPoolGet(pass *Pass, call *ast.CallExpr, getters map[*types.Func]poolGetter) (poolGetter, bool) {
+	f := calleeFunc(pass.Pkg.Info, call)
+	if f == nil {
+		return poolGetter{}, false
+	}
+	if g, ok := getters[f]; ok {
+		return g, true
+	}
+	if f.Name() == "Get" && isSyncPoolMethod(f) {
+		return poolGetter{name: "(*sync.Pool).Get", puts: []string{"Put"}}, true
+	}
+	return poolGetter{}, false
+}
+
+func isSyncPoolMethod(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := namedPtrElem(sig.Recv().Type())
+	if named == nil {
+		if n, ok := sig.Recv().Type().(*types.Named); ok {
+			named = n
+		}
+	}
+	return named != nil && typeKey(named) == "sync.Pool"
+}
+
+// checkPoolUses walks one function, finds every pool acquisition, and
+// verifies the result is accounted for.
+func checkPoolUses(pass *Pass, fd *ast.FuncDecl, getters map[*types.Func]poolGetter) {
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		g, ok := asPoolGet(pass, call, getters)
+		if !ok {
+			return
+		}
+		if len(stack) == 0 {
+			return
+		}
+		switch parent := stack[len(stack)-1].(type) {
+		case *ast.ExprStmt:
+			pass.Reportf(call.Pos(), "result of %s is discarded: the pooled value leaks (release via %s or hand it off)", g.name, strings.Join(g.puts, "/"))
+		case *ast.AssignStmt:
+			// Only the direct `v := get()` / `v = get()` binding form is
+			// tracked; a get nested in a larger expression is a handoff.
+			if len(parent.Rhs) != 1 || parent.Rhs[0] != ast.Expr(call) && ast.Unparen(parent.Rhs[0]) != ast.Expr(call) {
+				return
+			}
+			if len(parent.Lhs) != 1 {
+				return
+			}
+			id, ok := parent.Lhs[0].(*ast.Ident)
+			if !ok {
+				return // field/index destination: stored, accounted for
+			}
+			if id.Name == "_" {
+				pass.Reportf(call.Pos(), "result of %s is bound to _: the pooled value leaks (release via %s or hand it off)", g.name, strings.Join(g.puts, "/"))
+				return
+			}
+			obj := pass.Pkg.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Pkg.Info.Uses[id]
+			}
+			if obj == nil {
+				return
+			}
+			if !pooledValueAccounted(pass, fd, call, obj) {
+				pass.Reportf(call.Pos(), "pooled value %s from %s is never released via %s nor handed off — it leaks on every path", id.Name, g.name, strings.Join(g.puts, "/"))
+			}
+		}
+	})
+}
+
+// pooledValueAccounted scans the function for any use of obj, after the
+// acquisition, that transfers or releases it: an argument position
+// (including defer), a return, an assignment (aliasing or storing), an
+// address-of, a method call on the value, or capture by a closure. Field
+// selection and index reads do not count.
+func pooledValueAccounted(pass *Pass, fd *ast.FuncDecl, get *ast.CallExpr, obj types.Object) bool {
+	accounted := false
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) {
+		if accounted {
+			return
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Pos() <= get.End() || pass.Pkg.Info.Uses[id] != obj {
+			return
+		}
+		if identEscapes(pass, id, stack) {
+			accounted = true
+		}
+	})
+	return accounted
+}
+
+// identEscapes classifies one use of the pooled variable by its
+// ancestors.
+func identEscapes(pass *Pass, id *ast.Ident, stack []ast.Node) bool {
+	child := ast.Node(id)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.CallExpr:
+			if parent.Fun == child {
+				return false // calling v() — not a transfer of v itself
+			}
+			return true // argument: handed off (or released)
+		case *ast.ReturnStmt:
+			return true
+		case *ast.AssignStmt:
+			for _, r := range parent.Rhs {
+				if containsNode(r, child) {
+					return true // aliased or stored somewhere
+				}
+			}
+			// v on the left of a selector/index store was already handled
+			// below; plain `v = ...` rebinding is not an escape.
+			return false
+		case *ast.UnaryExpr:
+			if parent.Op.String() == "&" {
+				return true
+			}
+			child = parent
+		case *ast.SelectorExpr:
+			if parent.X == child {
+				if sel, ok := pass.Pkg.Info.Selections[parent]; ok && sel.Kind() == types.MethodVal {
+					return true // method call/value on v may release it
+				}
+				// field access: keep climbing — v.f = x is a write into
+				// the pooled object, not an escape of it.
+				child = parent
+				continue
+			}
+			child = parent
+		case *ast.CompositeLit:
+			return true // stored into a literal
+		case *ast.ParenExpr, *ast.StarExpr, *ast.IndexExpr, *ast.SliceExpr:
+			child = parent
+		case *ast.KeyValueExpr:
+			child = parent
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// containsNode reports whether needle appears within root.
+func containsNode(root ast.Node, needle ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == needle {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,30 @@
+package analysis
+
+import "testing"
+
+// TestSuiteCleanOnRepo runs every analyzer over every package of the
+// module — the same pass CI's voxel-vet gate performs — and demands
+// zero diagnostics. It type-checks the whole module from source, so it
+// is the slowest test in the package; -short skips it and leaves the
+// corpus tests to cover analyzer behavior.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module typecheck; covered by voxel-vet in CI")
+	}
+	pkgs, err := List("voxel/...")
+	if err != nil {
+		t.Fatalf("go list: %v", err)
+	}
+	loader := NewLoader()
+	for _, p := range pkgs {
+		units, err := loader.Units(p)
+		if err != nil {
+			t.Fatalf("load %s: %v", p.ImportPath, err)
+		}
+		for _, u := range units {
+			for _, d := range RunSuite(u, Analyzers()) {
+				t.Errorf("%s", d)
+			}
+		}
+	}
+}

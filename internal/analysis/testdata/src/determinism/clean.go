@@ -1,0 +1,59 @@
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// sortedIteration is the canonical idiom: collect, sort, then walk.
+func sortedIteration(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// keyedStores land each entry in its own slot; delete shrinks in place;
+// integer accumulation commutes exactly.
+func keyedStores(m map[string]int, out map[string]int) int {
+	total := 0
+	for k, v := range m {
+		if v < 0 {
+			delete(out, k)
+			continue
+		}
+		out[k] = v
+		total += v
+	}
+	return total
+}
+
+// loopLocals keep all order-sensitive work inside a single iteration;
+// only a commutative integer total crosses iterations.
+func loopLocals(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		local := 0
+		for _, v := range vs {
+			local += v
+		}
+		n += local
+	}
+	return n
+}
+
+// seededRand draws from an explicitly seeded source; methods on a
+// *rand.Rand never touch the global stream.
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+// waived sites carry a reviewed reason on the det-ok directive.
+func waived() int64 {
+	//voxel:det-ok corpus example of the waiver syntax with a reason
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,84 @@
+// Package determinism is the want-diagnostics corpus for the
+// determinism analyzer: every construct here must produce exactly the
+// diagnostic its want comment names.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// wallClock reads the wall clock and the environment: both make a trial
+// outcome depend on when and where the process runs.
+func wallClock() (int64, string) {
+	t := time.Now()        // want "time\\.Now \\(wall clock\\) in a sim-reachable package"
+	e := os.Getenv("HOME") // want "os\\.Getenv \\(environment read\\)"
+	return t.UnixNano(), e
+}
+
+// globalRand draws from the process-global stream, which is shared,
+// lock-ordered, and unseedable per trial.
+func globalRand() int {
+	return rand.Intn(6) // want "global math/rand\\.Intn"
+}
+
+// floatReduce accumulates floats across iterations: float addition does
+// not commute, so the sum depends on map order.
+func floatReduce(m map[string]int) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += float64(v) // want "floating-point reduction depends on summation order"
+	}
+	return sum
+}
+
+// lastWriter leaks whichever entry the runtime happened to visit last.
+func lastWriter(m map[string]int) string {
+	last := ""
+	for k := range m {
+		last = k // want "assigns to outer variable \"last\""
+	}
+	return last
+}
+
+// anyKey returns an arbitrary entry — a different one on every run.
+func anyKey(m map[string]int) string {
+	for k := range m {
+		return k // want "returns a value derived from the iteration variable"
+	}
+	return ""
+}
+
+// computedKey can collide distinct entries onto one slot; the survivor
+// is the entry visited last.
+func computedKey(m map[string]int, out map[string]int) {
+	for k, v := range m {
+		out[k+"!"] = v // want "stores under a computed map key"
+	}
+}
+
+// sideEffects observes the iteration order through a call.
+func sideEffects(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want "calls fmt\\.Println, whose side effects would observe the iteration order"
+	}
+}
+
+// collectNoSort gathers keys but never canonicalizes the order.
+func collectNoSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want "collects entries from a map range into \"keys\" but never sorts it"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// leakIterVar writes the iteration variable straight into outer state.
+func leakIterVar(m map[string]int) string {
+	var k string
+	for k = range m { // want "assigns the map iteration variable to an outer variable"
+	}
+	return k
+}

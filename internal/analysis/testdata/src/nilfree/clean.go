@@ -1,0 +1,50 @@
+package nilfree
+
+// Probe exercises every accepted guard shape.
+//
+//voxel:nilfree
+type Probe struct {
+	n int
+}
+
+// Enabled is the single-return comparison shape.
+func (p *Probe) Enabled() bool { return p != nil }
+
+// Check ORs the nil case with further early-outs, invariant.Check-style.
+func (p *Probe) Check(ok bool) {
+	if p == nil || ok {
+		return
+	}
+	p.n++
+}
+
+// MustN treats nil as a bug but still guards first: panic exits too.
+func (p *Probe) MustN() int {
+	if p == nil {
+		panic("nil probe")
+	}
+	return p.n
+}
+
+// reset is unexported: internal call sites manage nil themselves.
+func (p *Probe) reset() { p.n = 0 }
+
+// mixedUse keeps its guard because the body touches a field, which a
+// nil receiver cannot survive — the guard is load-bearing, not dead.
+func mixedUse(p *Probe, out *int) {
+	if p != nil {
+		*out = p.n
+		p.Check(true)
+	}
+}
+
+// counter carries no nil-is-free contract, so callers guard freely.
+type counter struct{ n int }
+
+func (c *counter) bump() { c.n++ }
+
+func useCounter(c *counter) {
+	if c != nil {
+		c.bump()
+	}
+}

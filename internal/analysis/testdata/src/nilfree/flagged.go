@@ -1,0 +1,32 @@
+// Package nilfree is the want-diagnostics corpus for the nilfree
+// analyzer: the method side (missing guard) and the caller side
+// (redundant re-guard) of the nil-is-free contract.
+package nilfree
+
+// Tracker is nil-is-free: a nil *Tracker is the disabled state.
+//
+//voxel:nilfree
+type Tracker struct {
+	n int
+}
+
+// Add is properly guarded and establishes the contract callers rely on.
+func (t *Tracker) Add(n int) {
+	if t == nil {
+		return
+	}
+	t.n += n
+}
+
+// Total forgets the guard: a nil handle would crash here.
+func (t *Tracker) Total() int { // want "exported method Total on nil-is-free type testdata/nilfree\\.Tracker must begin with a nil-receiver guard"
+	return t.n
+}
+
+// useTracker re-guards a call that is already nil-safe; the dead check
+// misleads readers into thinking the callee is not.
+func useTracker(t *Tracker) {
+	if t != nil { // want "redundant nil guard: t is nil-is-free"
+		t.Add(1)
+	}
+}

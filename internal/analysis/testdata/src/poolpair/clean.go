@@ -1,0 +1,39 @@
+package poolpair
+
+// deferredRelease pairs the get with a put on every path.
+func deferredRelease() int {
+	t := getThing()
+	defer putThing(t)
+	t.n++
+	return t.n
+}
+
+// handoff: passing the pooled value to any call transfers ownership.
+func handoff() {
+	consume(getThing())
+}
+
+func consume(t *thing) { putThing(t) }
+
+// returned: the caller owns the handle now.
+func returned() *thing {
+	t := getThing()
+	t.n = 0
+	return t
+}
+
+// holder stores the handle; a struct field keeps it reachable.
+type holder struct{ t *thing }
+
+func (h *holder) fill() {
+	h.t = getThing()
+}
+
+// pooledRoundTrip mirrors the qoe scratch idiom: the Get is wrapped in
+// a type assertion (a handoff to the larger expression) and released by
+// a deferred Put.
+func pooledRoundTrip() int {
+	t := pool.Get().(*thing)
+	defer pool.Put(t)
+	return t.n
+}

@@ -1,0 +1,46 @@
+// Package poolpair is the want-diagnostics corpus for the poolpair
+// analyzer: pooled values dropped on the floor.
+package poolpair
+
+import "sync"
+
+type thing struct{ n int }
+
+var free []*thing
+
+// getThing pops the freelist, growing it cold when dry.
+//
+//voxel:pool-get put=putThing
+func getThing() *thing {
+	if n := len(free); n > 0 {
+		t := free[n-1]
+		free = free[:n-1]
+		return t
+	}
+	return &thing{}
+}
+
+// putThing pushes a handle back.
+func putThing(t *thing) { free = append(free, t) }
+
+// badGet declares the directive but forgets the release name.
+//
+//voxel:pool-get
+func badGet() *thing { // want "names no release function"
+	return &thing{}
+}
+
+// leaks exercises each unambiguous leak shape.
+func leaks() {
+	getThing()      // want "result of getThing is discarded"
+	_ = getThing()  // want "result of getThing is bound to _"
+	v := getThing() // want "pooled value v from getThing is never released via putThing nor handed off"
+	v.n = 1
+}
+
+var pool = sync.Pool{New: func() any { return new(thing) }}
+
+// dropsPooled leaks straight from sync.Pool, no annotation needed.
+func dropsPooled() {
+	pool.Get() // want "result of \\(\\*sync\\.Pool\\)\\.Get is discarded"
+}

@@ -955,6 +955,7 @@ func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64, t
 		// insurance for session code that might.
 		var wallStart time.Time
 		if cfg.WatchdogWall > 0 {
+			//voxel:det-ok the wall watchdog measures real elapsed time by design; it never feeds trial results
 			wallStart = time.Now()
 		}
 		startExec := s.Executed()
@@ -983,6 +984,7 @@ func runTrial(cfg Config, man *dash.Manifest, shift time.Duration, seed int64, t
 						s.Executed()-startExec, cfg.WatchdogEvents, time.Duration(s.Now()))
 				}
 				if cfg.WatchdogWall > 0 {
+					//voxel:det-ok the wall watchdog measures real elapsed time by design; it never feeds trial results
 					if elapsed := time.Since(wallStart); elapsed > cfg.WatchdogWall {
 						return Trial{Failed: true}, tc.errf(time.Duration(s.Now()), "watchdog.wall-budget",
 							"trial ran %v wall (budget %v) at virtual %v",

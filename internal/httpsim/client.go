@@ -3,6 +3,7 @@ package httpsim
 import (
 	"errors"
 	"math/rand"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -240,9 +241,17 @@ func (c *Client) Conn() *quic.Conn { return c.conn }
 // Callbacks should be set on the returned Response immediately (before the
 // simulator runs again).
 func (c *Client) Get(path string, ranges RangeSpec, unreliable bool, extra map[string]string) *Response {
+	// Copy the caller's headers in sorted key order: lowercasing can make
+	// distinct keys collide, and "last writer wins" must not depend on map
+	// iteration order (voxel-vet: determinism).
 	headers := make(map[string]string, len(extra)+2)
-	for k, v := range extra {
-		headers[strings.ToLower(k)] = v
+	extraKeys := make([]string, 0, len(extra))
+	for k := range extra {
+		extraKeys = append(extraKeys, k)
+	}
+	sort.Strings(extraKeys)
+	for _, k := range extraKeys {
+		headers[strings.ToLower(k)] = extra[k]
 	}
 	if len(ranges) > 0 {
 		headers["range"] = formatRangeHeader(ranges)

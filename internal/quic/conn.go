@@ -362,6 +362,9 @@ func (c *Conn) queueUnreliableRewrite(s *Stream, offset uint64, data []byte) {
 
 // allocSent returns a clean sentPacket, reusing freed ones. The frame
 // slices keep their capacity across reuse.
+//
+//voxel:allocfree
+//voxel:pool-get put=releaseSent
 func (c *Conn) allocSent() *sentPacket {
 	if n := len(c.spFree); n > 0 {
 		sp := c.spFree[n-1]
@@ -373,6 +376,8 @@ func (c *Conn) allocSent() *sentPacket {
 
 // releaseSent recycles a sentPacket whose frames have already been handed
 // off or freed.
+//
+//voxel:allocfree
 func (c *Conn) releaseSent(sp *sentPacket) {
 	for i := range sp.streamFrames {
 		sp.streamFrames[i] = nil
@@ -385,6 +390,9 @@ func (c *Conn) releaseSent(sp *sentPacket) {
 }
 
 // allocFrame returns a zeroed StreamFrame from the send-side freelist.
+//
+//voxel:allocfree
+//voxel:pool-get put=freeFrame
 func (c *Conn) allocFrame() *StreamFrame {
 	if n := len(c.sfFree); n > 0 {
 		f := c.sfFree[n-1]
@@ -396,12 +404,16 @@ func (c *Conn) allocFrame() *StreamFrame {
 }
 
 // freeFrame recycles a StreamFrame that no queue references anymore.
+//
+//voxel:allocfree
 func (c *Conn) freeFrame(f *StreamFrame) {
 	f.Data = nil
 	c.sfFree = append(c.sfFree, f)
 }
 
 // getBuf returns an empty encode buffer sized for one packet.
+//
+//voxel:pool-get put=putBuf
 func (c *Conn) getBuf() []byte {
 	if n := len(c.bufFree); n > 0 {
 		b := c.bufFree[n-1]
@@ -795,6 +807,8 @@ func (c *Conn) onStreamFrame(f *StreamFrame) {
 // one pass in O(scanned + ranges), where the scan stops at the largest
 // acknowledged packet. Processing order is ascending packet number by
 // construction — no map iteration, no sorting.
+//
+//voxel:allocfree
 func (c *Conn) onAck(f *AckFrame) {
 	now := c.sim.Now()
 	if len(f.Ranges) == 0 {
@@ -901,6 +915,8 @@ func (c *Conn) checkConservation() {
 // send times never decrease — so the lost packets always form a prefix of
 // the in-flight queue: the walk stops at the first packet neither
 // threshold condemns.
+//
+//voxel:allocfree
 func (c *Conn) detectLosses(now sim.Time) {
 	if !c.anyAcked || c.sentQ.empty() {
 		return

@@ -176,6 +176,7 @@ func TestUnreliableStreamLossReported(t *testing.T) {
 	// simply check the accounting identity.
 	var recvd uint64
 	cl := client
+	//voxel:det-ok integer sum of a pure accessor over all streams; the total is order-independent
 	for _, strm := range cl.streams {
 		recvd += strm.received.CoveredBytes()
 	}

@@ -75,12 +75,18 @@ func FuzzQuantiles(f *testing.F) {
 		if s.N != clean {
 			t.Fatalf("Summary.N = %d, want %d", s.N, clean)
 		}
-		for name, v := range map[string]float64{
-			"P10": s.P10, "P25": s.P25, "Median": s.Median,
-			"P75": s.P75, "P90": s.P90, "P95": s.P95,
+		// Fixed ladder order, not a map range: the first failing percentile
+		// named in a report must be the same on every replay of a crasher
+		// (voxel-vet: determinism).
+		for _, pv := range []struct {
+			name string
+			v    float64
+		}{
+			{"P10", s.P10}, {"P25", s.P25}, {"Median", s.Median},
+			{"P75", s.P75}, {"P90", s.P90}, {"P95", s.P95},
 		} {
-			if clean > 0 && !math.IsNaN(v) && !(v >= lo && v <= hi) {
-				t.Fatalf("Summary.%s = %v outside [%v, %v]", name, v, lo, hi)
+			if clean > 0 && !math.IsNaN(pv.v) && !(pv.v >= lo && pv.v <= hi) {
+				t.Fatalf("Summary.%s = %v outside [%v, %v]", pv.name, pv.v, lo, hi)
 			}
 		}
 	})

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"reflect"
+	"sort"
 	"testing"
 )
 
@@ -32,7 +33,17 @@ func TestQuantileSketchErrorBound(t *testing.T) {
 			return rng.Float64() * 10
 		},
 	}
-	for name, draw := range dists {
+	// Sorted subtest order: the distributions share one seeded rng, so the
+	// map iteration order would otherwise decide which subtest consumes
+	// which random draws — failures would not reproduce (voxel-vet:
+	// determinism).
+	names := make([]string, 0, len(dists))
+	for name := range dists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		draw := dists[name]
 		t.Run(name, func(t *testing.T) {
 			s := NewQuantileSketch(alpha)
 			xs := make([]float64, 20000)
